@@ -1,0 +1,30 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at the
+``quick`` scale (REPRO_FULL=1 switches to the paper-sized sweeps),
+prints the regenerated rows/series, and asserts the *shape* claims the
+paper makes (who wins, monotonicity, crossovers) — absolute numbers are
+simulator-dependent and are recorded in EXPERIMENTS.md instead.
+"""
+
+import pytest
+
+from repro.harness import active_scale
+from repro.harness.report import format_series, format_table
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return active_scale()
+
+
+@pytest.fixture
+def show():
+    """Print a result under pytest -s / captured output."""
+    def _show(result):
+        from repro.harness.results import SeriesResult
+        text = (format_series(result) if isinstance(result, SeriesResult)
+                else format_table(result))
+        print("\n" + text)
+        return result
+    return _show

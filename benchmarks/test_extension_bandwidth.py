@@ -1,0 +1,33 @@
+"""Extension — application-to-application bandwidth vs message size.
+
+Not a paper figure: the paper's predecessors (OSIRIS) demonstrated high
+*bandwidth*; the claim implicit in CNI is that latency optimizations do
+not cost bandwidth.  Shapes asserted: bandwidth grows with message size
+(per-message costs amortize), the CNI sustains at least the standard
+interface's bandwidth, and large messages reach a respectable fraction
+of the 622 Mbps line rate.
+"""
+
+import pytest
+
+from repro.harness import bandwidth_microbenchmark
+
+
+def test_bandwidth_vs_message_size(benchmark, scale, show):
+    sizes = [512, 1024, 2048, 4096]
+    result = benchmark.pedantic(
+        lambda: bandwidth_microbenchmark(sizes, messages_per_burst=16),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    cni = result.get("cni_mbps")
+    std = result.get("standard_mbps")
+
+    # bandwidth grows with message size for both interfaces
+    for xs in (cni, std):
+        assert xs[-1] > xs[0]
+    # the CNI never sacrifices bandwidth
+    for c, s in zip(cni, std):
+        assert c >= s * 0.95
+    # large transfers achieve a useful fraction of the 622 Mbps line
+    assert cni[-1] > 0.3 * 622

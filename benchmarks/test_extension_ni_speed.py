@@ -1,0 +1,38 @@
+"""Extension — sensitivity to NI-processor speed.
+
+Not a paper figure, but the paper's own forward-looking argument:
+"as network interface processors are getting more and more powerful,
+substantial overhead can be reduced if protocol processing can be done
+in the network interface" (Section 2.2->2.3 transition).  Sweeping the
+33 MHz NI clock shows that the CNI (whose protocol runs *on* that
+processor) benefits from faster NI silicon while the standard interface
+(protocol on the host) barely moves — the CNI is positioned to ride the
+NI-processor curve.
+"""
+
+import pytest
+
+from repro.apps import CholeskyConfig, bcsstk14_like
+from repro.harness import sweep_param
+
+
+def test_ni_speed_sweep(benchmark, scale, show):
+    cfg = CholeskyConfig(
+        matrix=bcsstk14_like(scale=scale.cholesky_scale14),
+        supernode=scale.supernode,
+    )
+    speeds = [16.5e6, 33e6, 66e6, 132e6]
+    result = benchmark.pedantic(
+        lambda: sweep_param("cholesky", cfg, "ni_freq_hz", speeds,
+                            nprocs=scale.nprocs_fixed),
+        rounds=1, iterations=1,
+    )
+    show(result)
+    cni = result.get("cni_elapsed_ms")
+    std = result.get("standard_elapsed_ms")
+    # faster NI silicon helps the CNI...
+    assert cni[-1] < cni[0]
+    # ...and helps it more than the standard interface (relative gain)
+    cni_gain = 1 - cni[-1] / cni[0]
+    std_gain = 1 - std[-1] / std[0]
+    assert cni_gain >= std_gain

@@ -1,0 +1,44 @@
+"""Figures 2-4 — Jacobi speedup and network cache hit ratio vs
+processor count, three matrix sizes, CNI vs standard interface.
+
+Paper shapes asserted: CNI speedup >= standard at every point; hit
+ratios high and non-degrading with processor count; bigger matrices
+scale better; with the small matrix and the largest processor count
+both configurations degrade but the CNI degrades less (Section 3.1).
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.parametrize("exp_id", ["fig2", "fig3", "fig4"])
+def test_jacobi_speedup_figures(benchmark, scale, show, exp_id):
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = result.get("cni_speedup")
+    std = result.get("standard_speedup")
+    hits = result.get("network_cache_hit_ratio")
+
+    # CNI never loses to the standard interface.
+    for c, s in zip(cni, std):
+        assert c >= s * 0.98  # small tolerance for 1-proc baselines
+
+    # Parallelism helps: best speedup well above one processor's.
+    assert max(cni) > 1.2
+    # Hit ratio is high once there is communication at all and does not
+    # collapse as processors are added (Figure 2's rising curve).
+    assert hits[-1] >= 50.0
+    assert hits[-1] >= hits[1] - 5.0
+
+
+def test_bigger_jacobi_scales_better(benchmark, scale, show):
+    small = run_experiment("fig2", scale)
+    large = benchmark.pedantic(
+        lambda: run_experiment("fig4", scale), rounds=1, iterations=1
+    )
+    show(large)
+    # the large matrix achieves a better peak speedup (Figures 2 vs 4)
+    assert max(large.get("cni_speedup")) >= max(small.get("cni_speedup"))

@@ -1,0 +1,27 @@
+"""Figure 5 — Jacobi page-size sensitivity (8 processors, large grid).
+
+Paper shape: the CNI is *less sensitive* to shared-page size than the
+standard interface "because of the lower cost of page transfers".
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def spread(ys):
+    return (max(ys) - min(ys)) / max(ys)
+
+
+def test_fig5_jacobi_page_size_sensitivity(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = result.get("cni_speedup")
+    std = result.get("standard_speedup")
+    # CNI wins at every page size.
+    for c, s in zip(cni, std):
+        assert c >= s * 0.98
+    # CNI's speedup varies less across page sizes than the standard's.
+    assert spread(cni) <= spread(std) + 0.05

@@ -1,0 +1,25 @@
+"""Figure 9 — Water page-size sensitivity (8 processors, medium input).
+
+Paper shape: "The CNI is also less sensitive to page size ... even
+though there is some false sharing with larger page sizes."
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def spread(ys):
+    return (max(ys) - min(ys)) / max(ys)
+
+
+def test_fig9_water_page_size_sensitivity(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = result.get("cni_speedup")
+    std = result.get("standard_speedup")
+    for c, s in zip(cni, std):
+        assert c >= s * 0.98
+    assert spread(cni) <= spread(std) + 0.05

@@ -1,0 +1,40 @@
+"""Figures 10-11 — Cholesky speedup and hit ratio, bcsstk14/bcsstk15.
+
+Paper shapes: CNI >= standard; "caching receive buffers helped
+performance a great deal" (migratory pages); "the bcsstk15 matrix shows
+better speedup performance because of the larger size of the matrix".
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.mark.parametrize("exp_id", ["fig10", "fig11"])
+def test_cholesky_speedup_figures(benchmark, scale, show, exp_id):
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = result.get("cni_speedup")
+    std = result.get("standard_speedup")
+    for c, s in zip(cni, std):
+        assert c >= s * 0.95
+    # Fine granularity: at the quick scale the tiny per-task work is
+    # dominated by distributed locking (real small-input DSM behaviour)
+    # and absolute speedup can dip below one; the paper's claim we hold
+    # everywhere is the CNI-vs-standard gap.  At paper scale, demand
+    # some parallelism too.
+    if scale.name == "paper":
+        assert max(cni) > 1.0
+    # the CNI's advantage is visible at the largest processor count
+    assert cni[-1] >= std[-1]
+
+
+def test_bcsstk15_scales_better_than_bcsstk14(benchmark, scale, show):
+    small = run_experiment("fig10", scale)
+    large = benchmark.pedantic(
+        lambda: run_experiment("fig11", scale), rounds=1, iterations=1
+    )
+    show(large)
+    assert max(large.get("cni_speedup")) >= max(small.get("cni_speedup")) * 0.9

@@ -1,0 +1,27 @@
+"""Figure 12 — Cholesky page-size sensitivity (8 processors, bcsstk14).
+
+Paper shape: "The application is very sensitive to the size of the
+shared memory page because of large page migration overhead ...
+However, this overhead is reduced a lot in CNI due to transmit and
+receive caching thus leading to considerable lesser sensitivity."
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def spread(ys):
+    return (max(ys) - min(ys)) / max(ys)
+
+
+def test_fig12_cholesky_page_size_sensitivity(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig12", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = result.get("cni_speedup")
+    std = result.get("standard_speedup")
+    for c, s in zip(cni, std):
+        assert c >= s * 0.95
+    assert spread(cni) <= spread(std) + 0.08

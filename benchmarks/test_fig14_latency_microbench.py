@@ -1,0 +1,38 @@
+"""Figure 14 — best-case node-to-node latency vs message size.
+
+Paper shapes: both curves are essentially linear in message size; the
+CNI is uniformly faster; "for a 4KB page size transfer, the
+communication latency is lower for the CNI architecture by as much as
+33%".
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def test_fig14_node_to_node_latency(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig14", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = result.get("cni_latency_us")
+    std = result.get("standard_latency_us")
+
+    # monotone in message size, CNI uniformly faster
+    for xs in (cni, std):
+        for a, b in zip(xs, xs[1:]):
+            assert b >= a
+    for c, s in zip(cni, std):
+        assert c < s
+
+    # the paper's headline: ~33% lower latency at the 4 KB point
+    reduction = 1.0 - cni[-1] / std[-1]
+    assert 0.15 <= reduction <= 0.55, f"4KB reduction {reduction:.0%}"
+
+    # rough linearity: the per-byte slope at the top half is within 3x
+    # of the bottom half (no blow-up, no plateau)
+    half = len(cni) // 2
+    lo_slope = (cni[half] - cni[0]) / max(result.xs[half] - result.xs[0], 1)
+    hi_slope = (cni[-1] - cni[half]) / max(result.xs[-1] - result.xs[half], 1)
+    assert hi_slope < 3 * lo_slope + 1e-6

@@ -1,0 +1,28 @@
+"""Table 1 — simulation parameters.
+
+Regenerates the parameter table and checks it against the paper's
+values (with the two OCR resolutions documented in DESIGN.md).
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def test_table1_simulation_parameters(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", scale), rounds=1, iterations=1
+    )
+    show(result)
+    assert result.cell("cpu_frequency_mhz", "value") == 166.0
+    assert result.cell("l1_size_kb", "value") == 32.0
+    assert result.cell("l2_size_kb", "value") == 1024.0
+    assert result.cell("l1_access_cycles", "value") == 1
+    assert result.cell("l2_access_cycles", "value") == 10
+    assert result.cell("memory_latency_cycles", "value") == 20
+    assert result.cell("bus_acquisition_cycles", "value") == 4
+    assert result.cell("bus_cycles_per_word", "value") == 2
+    assert result.cell("bus_frequency_mhz", "value") == 25.0
+    assert result.cell("switch_latency_ns", "value") == 500.0
+    assert result.cell("ni_frequency_mhz", "value") == 33.0
+    assert result.cell("message_cache_kb", "value") == 32.0

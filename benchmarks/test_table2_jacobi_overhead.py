@@ -1,0 +1,25 @@
+"""Table 2 — Jacobi overhead breakdown (8 processors).
+
+Paper shape: "the CNI scheme has a lower synchronization overhead as
+well as substantially less synchronization delay"; computation is
+essentially identical; totals favour the CNI.
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def test_table2_jacobi_overhead_breakdown(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = {r: result.cell(r, "time_cni_cycles") for r in result.rows}
+    std = {r: result.cell(r, "time_standard_cycles") for r in result.rows}
+
+    assert cni["synch_overhead"] < std["synch_overhead"]
+    assert cni["synch_delay"] < std["synch_delay"]
+    # computation is the same program on the same data
+    assert cni["computation"] == pytest.approx(std["computation"], rel=0.02)
+    assert cni["total"] < std["total"]

@@ -1,0 +1,26 @@
+"""Table 3 — Water overhead breakdown (8 processors).
+
+Paper shape: "lower synchronization overheads and delays for the CNI
+configuration"; identical computation; lower total.
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def test_table3_water_overhead_breakdown(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = {r: result.cell(r, "time_cni_cycles") for r in result.rows}
+    std = {r: result.cell(r, "time_standard_cycles") for r in result.rows}
+
+    assert cni["synch_overhead"] < std["synch_overhead"]
+    assert cni["synch_delay"] < std["synch_delay"]
+    assert cni["computation"] == pytest.approx(std["computation"], rel=0.02)
+    assert cni["total"] < std["total"]
+    # Water is medium-grained: synchronization (delay + overhead) is a
+    # large share of the total, unlike Jacobi (Table 2 vs Table 3).
+    assert (cni["synch_delay"] + cni["synch_overhead"]) > 0.1 * cni["total"]

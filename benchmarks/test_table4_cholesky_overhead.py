@@ -1,0 +1,25 @@
+"""Table 4 — Cholesky overhead breakdown (8 processors, bcsstk14).
+
+Paper shape: synchronization delay dominates the fine-grained
+application's execution; the CNI's totals are lower.
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+def test_table4_cholesky_overhead_breakdown(benchmark, scale, show):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", scale), rounds=1, iterations=1
+    )
+    show(result)
+    cni = {r: result.cell(r, "time_cni_cycles") for r in result.rows}
+    std = {r: result.cell(r, "time_standard_cycles") for r in result.rows}
+
+    assert cni["synch_delay"] <= std["synch_delay"]
+    assert cni["computation"] == pytest.approx(std["computation"], rel=0.05)
+    assert cni["total"] < std["total"]
+    # Fine granularity: synch delay is the dominant cost (Table 4 has
+    # 61.8 of 85.7 total in delay).
+    assert cni["synch_delay"] > cni["computation"] * 0.3

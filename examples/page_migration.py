@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Watching the Message Cache work: a page migrating around a ring.
+
+Section 3.1 singles out Cholesky because "pages tend to move from the
+releaser to the acquirer"; receive caching means a node that just
+received a page can forward it onward without touching host memory.
+This example builds that pattern directly — one shared page hops around
+the cluster several times — and prints the Message Cache's internals
+(hits, insertions, snoop activity) for three configurations: full CNI,
+CNI without snooping, and CNI without receive caching.
+
+Run:  python examples/page_migration.py
+"""
+
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+
+def run_ring(label: str, laps: int = 4, nprocs: int = 4, **flags):
+    params = SimParams().replace(
+        num_processors=nprocs, dsm_address_space_pages=16, **flags
+    )
+    cluster = Cluster(params, interface="cni")
+    arr = cluster.alloc_shared((512,))  # exactly one shared page
+    base = arr.base_vaddr
+
+    def kernel(ctx):
+        token = 0
+        for lap in range(laps):
+            for holder in range(ctx.nprocs):
+                if ctx.rank == holder:
+                    # read the token, bump it, pass it on
+                    yield from ctx.read_runs([(base, 8)])
+                    token = arr.data[0]
+                    yield from ctx.write_runs([(base, 4096)])
+                    arr.data[:] = token + 1
+                yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+    assert arr.data[0] == laps * nprocs
+
+    mc0 = cluster.nodes[0].nic.message_cache
+    print(f"--- {label} ---")
+    print(f"  execution time        : {stats.elapsed_ns / 1e6:7.3f} ms")
+    print(f"  page transmissions    : {stats.counters['dsm_pages_served']}")
+    print(f"  network cache hit rate: "
+          f"{100 * stats.network_cache_hit_ratio:6.1f} %")
+    print(f"  node0 buffer-map      : {mc0.insertions} insertions, "
+          f"{mc0.evictions} evictions, {mc0.snoop_updates} snoop updates")
+    print()
+    return stats
+
+
+def main() -> None:
+    full = run_ring("full CNI (transmit+receive caching, snooping)")
+    run_ring("snooping disabled", snoop_enabled=False)
+    no_rc = run_ring("receive caching disabled", receive_caching=False)
+
+    speed = 100 * (1 - full.elapsed_ns / no_rc.elapsed_ns)
+    print(f"receive caching alone is worth {speed:.1f}% on this "
+          f"migration-heavy pattern — the effect the paper credits for "
+          f"Cholesky's gains")
+
+
+if __name__ == "__main__":
+    main()

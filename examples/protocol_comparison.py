@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Why the paper chose *lazy* release consistency.
+
+Section 3: "An invalidate protocol was chosen because it has been shown
+that invalidate protocols work best in low overhead environments."  The
+library ships both the paper's lazy protocol and the classical eager
+alternative (push invalidations at every release, block for acks), so
+the choice can be measured rather than taken on faith — on both network
+interfaces, since the protocols' costs interact with where protocol
+code runs (AIH on the board vs. interrupt handlers on the host).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.apps import JacobiConfig, build_jacobi, jacobi_kernel
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+
+def run(interface: str, protocol: str):
+    cfg = JacobiConfig(n=96, iterations=6)
+    params = SimParams().replace(num_processors=8)
+    cluster = Cluster(params, interface=interface, home_scheme="block",
+                      protocol=protocol)
+    grids = build_jacobi(cluster, cfg)
+    return cluster.run(lambda ctx: jacobi_kernel(ctx, cfg, grids))
+
+
+def main() -> None:
+    print("Jacobi 96x96, 6 iterations, 8 workstations\n")
+    print(f"{'interface':>10} {'protocol':>8} {'time (ms)':>10} "
+          f"{'packets':>8} {'slowdown':>9}")
+    for interface in ("cni", "standard"):
+        base = None
+        for protocol in ("lazy", "eager"):
+            stats = run(interface, protocol)
+            ms = stats.elapsed_ns / 1e6
+            if base is None:
+                base = ms
+            print(f"{interface:>10} {protocol:>8} {ms:>10.3f} "
+                  f"{stats.counters['nic_packets_sent']:>8} "
+                  f"{ms / base:>8.2f}x")
+    print(
+        "\nEager RC multiplies protocol messages (a broadcast + acks per"
+        "\nwriting release) and stalls releasers.  Note the slowdown is"
+        "\nworse on the *standard* interface, where every extra protocol"
+        "\nmessage interrupts a host CPU — exactly the sense in which"
+        "\ninvalidate/lazy protocols 'work best in low overhead"
+        "\nenvironments', and the CNI is the low-overhead environment."
+    )
+
+
+if __name__ == "__main__":
+    main()

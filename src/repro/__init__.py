@@ -1,0 +1,41 @@
+"""repro — an execution-driven simulation reproduction of
+"CNI: A High-Performance Network Interface for Workstation Clusters"
+(Sarkar & Bailey, HPDC 1996).
+
+Top-level convenience surface::
+
+    from repro import SimParams, Cluster
+    from repro.apps import JacobiConfig, run_jacobi
+
+    stats, grid = run_jacobi(SimParams().replace(num_processors=8),
+                             "cni", JacobiConfig(n=128, iterations=10))
+    print(stats.network_cache_hit_ratio, stats.elapsed_ns)
+
+Subpackages: :mod:`repro.engine` (discrete-event kernel),
+:mod:`repro.memory` (caches/bus/MMU), :mod:`repro.network` (ATM fabric),
+:mod:`repro.core` (the CNI and the baseline NIC), :mod:`repro.dsm`
+(lazy release consistency), :mod:`repro.runtime` (cluster assembly),
+:mod:`repro.apps` (benchmarks), :mod:`repro.harness` (the paper's
+tables and figures).
+"""
+
+from .engine import Category, Counters, RunStats, TimeAccount
+from .params import PAPER_PARAMS, SimParams, cni_params, standard_interface_params
+from .runtime import Cluster, Context, MessagingService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "Cluster",
+    "Context",
+    "Counters",
+    "MessagingService",
+    "PAPER_PARAMS",
+    "RunStats",
+    "SimParams",
+    "TimeAccount",
+    "cni_params",
+    "standard_interface_params",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""The paper's benchmark applications, reimplemented execution-driven.
+
+Jacobi (coarse), Water (medium, SPLASH) and Cholesky (fine, SPLASH) —
+Section 3.1's granularity spectrum — plus the synthetic BCSSTK matrix
+generators and the shared-array access layer they are written against.
+"""
+
+from .base import SharedArray, SharedScalarTable
+from .cholesky import (
+    CholeskyConfig,
+    CholeskyShared,
+    cholesky_kernel,
+    run_cholesky,
+)
+from .jacobi import (
+    JacobiConfig,
+    build_jacobi,
+    jacobi_kernel,
+    run_jacobi,
+)
+from .jacobi import sequential_reference as jacobi_reference
+from .matrices import (
+    BandedSPD,
+    band_cholesky_reference,
+    bcsstk14_like,
+    bcsstk15_like,
+    synthetic_fem_spd,
+)
+from .water import (
+    WaterConfig,
+    build_water,
+    run_water,
+    water_kernel,
+)
+from .water import sequential_reference as water_reference
+
+__all__ = [
+    "BandedSPD",
+    "CholeskyConfig",
+    "CholeskyShared",
+    "JacobiConfig",
+    "SharedArray",
+    "SharedScalarTable",
+    "WaterConfig",
+    "band_cholesky_reference",
+    "bcsstk14_like",
+    "bcsstk15_like",
+    "build_jacobi",
+    "build_water",
+    "cholesky_kernel",
+    "jacobi_kernel",
+    "jacobi_reference",
+    "run_cholesky",
+    "run_jacobi",
+    "run_water",
+    "synthetic_fem_spd",
+    "water_kernel",
+    "water_reference",
+]

@@ -1,0 +1,152 @@
+"""Shared-array access layer for the benchmark applications.
+
+:class:`SharedArray` marries a DSM allocation with the context's
+run-based access primitive: application code names a row/slice, the
+array computes the exact contiguous byte runs it occupies, the context
+prices them through the cache and DSM models, and the *real* numpy data
+moves — execution-driven simulation in the sense of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dsm import SharedAlloc
+from ..runtime import Context
+
+Key = Union[int, slice, Tuple]
+
+
+class SharedArray:
+    """An N-D shared array with priced accesses."""
+
+    def __init__(self, alloc: SharedAlloc, name: str = "shared"):
+        self.alloc = alloc
+        self.name = name
+        self.data = alloc.data
+        self.itemsize = self.data.dtype.itemsize
+        if not self.data.flags["C_CONTIGUOUS"]:
+            raise ValueError("shared arrays must be C-contiguous")
+
+    @property
+    def base_vaddr(self) -> int:
+        """Virtual base address of the array."""
+        return self.alloc.base_vaddr
+
+    @property
+    def shape(self):
+        """Array shape."""
+        return self.data.shape
+
+    # ------------------------------------------------------------------ runs --
+    def runs_for(self, key: Key) -> List[Tuple[int, int]]:
+        """Contiguous byte runs (vaddr, nbytes) covered by ``key``.
+
+        Supports integer and step-1 slice indexing per dimension; a
+        selection that is contiguous in C order collapses to one run,
+        otherwise one run per row of the leading selected dimension.
+        """
+        view = self.data[key]
+        if view.size == 0:
+            return []
+        if isinstance(view, np.ndarray) and view.ndim > 0:
+            if view.base is None:
+                raise ValueError(
+                    "fancy indexing copies data and has no address runs; "
+                    "use basic (slice/int) indexing on shared arrays"
+                )
+            if not view.flags["C_CONTIGUOUS"]:
+                return self._row_runs(view)
+            start = view.__array_interface__["data"][0] - \
+                self.data.__array_interface__["data"][0]
+            return [(self.base_vaddr + start, int(view.nbytes))]
+        # scalar
+        offset = self._scalar_offset(key)
+        return [(self.base_vaddr + offset, self.itemsize)]
+
+    def _scalar_offset(self, key: Key) -> int:
+        idx = key if isinstance(key, tuple) else (key,)
+        idx = tuple(
+            (i if i >= 0 else self.data.shape[d] + i)
+            for d, i in enumerate(idx)
+        )
+        return int(np.ravel_multi_index(idx, self.data.shape)) * self.itemsize
+
+    def _row_runs(self, view: np.ndarray) -> List[Tuple[int, int]]:
+        """Non-contiguous view: one run per contiguous last-axis row.
+
+        The view is walked with basic indexing only (``reshape`` would
+        silently copy a non-contiguous view and yield addresses outside
+        the shared segment)."""
+        base_ptr = self.data.__array_interface__["data"][0]
+        runs: List[Tuple[int, int]] = []
+        if view.ndim == 1:
+            rows = [view]
+        else:
+            rows = (view[idx] for idx in np.ndindex(view.shape[:-1]))
+        for row in rows:
+            if row.strides[-1] != self.itemsize:
+                raise ValueError(
+                    "strided last-axis selections are not supported on "
+                    "shared arrays (rows must be contiguous)"
+                )
+            start = row.__array_interface__["data"][0] - base_ptr
+            runs.append(
+                (self.base_vaddr + start, int(row.shape[0] * self.itemsize))
+            )
+        return runs
+
+    # ---------------------------------------------------------------- access --
+    def read(self, ctx: Context, key: Key) -> Generator:
+        """Priced read; returns a copy of the selected data."""
+        yield from ctx.read_runs(self.runs_for(key))
+        return np.array(self.data[key], copy=True)
+
+    def write(self, ctx: Context, key: Key, value) -> Generator:
+        """Priced write; assigns ``value`` into the selection."""
+        yield from ctx.write_runs(self.runs_for(key))
+        self.data[key] = value
+        return None
+
+    def update(self, ctx: Context, key: Key, fn) -> Generator:
+        """Priced read-modify-write: ``data[key] = fn(data[key])``."""
+        runs = self.runs_for(key)
+        yield from ctx.read_runs(runs)
+        new = fn(np.array(self.data[key], copy=True))
+        yield from ctx.write_runs(runs)
+        self.data[key] = new
+        return None
+
+
+class SharedScalarTable:
+    """Small shared control variables (counters, flags) — each padded to
+    its own value slot inside one shared page, accessed under locks.
+
+    Used for bag-of-tasks heads/tails and readiness counters; keeping
+    them in one page concentrates the synchronization traffic the way
+    the SPLASH codes' shared control blocks do.
+    """
+
+    def __init__(self, arr: SharedArray):
+        if arr.data.ndim != 1:
+            raise ValueError("scalar table must be one-dimensional")
+        self.arr = arr
+
+    def get(self, ctx: Context, idx: int) -> Generator:
+        """Priced scalar read."""
+        value = yield from self.arr.read(ctx, idx)
+        return float(value)
+
+    def set(self, ctx: Context, idx: int, value: float) -> Generator:
+        """Priced scalar write."""
+        yield from self.arr.write(ctx, idx, value)
+        return None
+
+    def add(self, ctx: Context, idx: int, delta: float) -> Generator:
+        """Priced scalar increment; returns the new value."""
+        value = yield from self.arr.read(ctx, idx)
+        new = float(value) + delta
+        yield from self.arr.write(ctx, idx, new)
+        return new

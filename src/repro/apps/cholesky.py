@@ -1,0 +1,280 @@
+"""Cholesky — the paper's fine-grained benchmark (from SPLASH).
+
+Section 3.1: "Cholesky is a fine-grained application that factorizes a
+sparse positive-definite matrix.  Each processor modifies a column or a
+set of columns called supernodes ... Access to the columns and
+supernodes are synchronized through column locks.  Columns or supernodes
+are allocated to a processor using the bag of tasks paradigm.  Pages
+tend to move from the releaser to the acquirer ... one page usually
+contains many columns, so concurrent write sharing and the use of write
+notices increases the parallelism and reduces the amount of data
+exchanged."
+
+Reimplementation: right-looking supernodal factorization of a banded SPD
+matrix (see :mod:`.matrices` for the BCSSTK stand-ins).
+
+* Column ``j`` of the matrix is one contiguous row of the shared band
+  array, so a page carries many columns — the paper's sharing pattern.
+* A *supernode* is a run of consecutive columns.  A supernode becomes a
+  task once every earlier supernode in band reach has pushed its updates
+  into it; readiness is tracked by shared per-supernode counters.
+* Tasks live in a shared **bag** protected by a lock; idle processors
+  poll the bag (spinning with backoff, as the SPLASH code does).
+* Updating a later supernode's columns takes that supernode's **column
+  lock**, giving exactly the releaser-to-acquirer page migration the
+  paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+from ..engine import RunStats
+from ..params import SimParams
+from ..runtime import Cluster, Context
+from .base import SharedArray, SharedScalarTable
+from .matrices import BandedSPD, band_cholesky_reference, bcsstk14_like
+
+#: Lock-id namespaces.
+BAG_LOCK = 1
+SN_LOCK_BASE = 100
+
+#: Cycle costs: one multiply-add in a column update / cdiv.
+CYCLES_PER_FLOP = 2.0
+
+#: Initial spin backoff while the bag is empty (cycles of useless host
+#: work); doubles on consecutive empty polls up to the cap so that idle
+#: workers do not serialize the bag lock against actual task pushes.
+SPIN_BACKOFF_CYCLES = 2500
+SPIN_BACKOFF_MAX_CYCLES = 80_000
+
+
+@dataclass(frozen=True)
+class CholeskyConfig:
+    """One Cholesky experiment."""
+
+    matrix: BandedSPD = None  # type: ignore[assignment]
+    supernode: int = 8
+
+    def __post_init__(self):
+        if self.matrix is None:
+            object.__setattr__(self, "matrix", bcsstk14_like(scale=0.1))
+        if self.supernode < 1:
+            raise ValueError("supernode width must be positive")
+
+    @property
+    def n_supernodes(self) -> int:
+        return -(-self.matrix.n // self.supernode)
+
+    def sn_columns(self, s: int) -> Tuple[int, int]:
+        """Column range [lo, hi) of supernode ``s``."""
+        lo = s * self.supernode
+        return lo, min(lo + self.supernode, self.matrix.n)
+
+    def _connected(self, s: int, t: int) -> bool:
+        """Whether supernode ``s``'s columns update supernode ``t``'s.
+
+        True iff some column ``j`` of ``s`` has a structural entry at a
+        row inside ``t`` — band reach restricted to ``j``'s elimination
+        block (cross-block entries are zero by construction)."""
+        lo, hi = self.sn_columns(s)
+        tlo, thi = self.sn_columns(t)
+        m = self.matrix
+        for j in range(lo, hi):
+            k_hi = min(m.bandwidth, m.n - 1 - j, thi - 1 - j)
+            k_lo = max(1, tlo - j)
+            if k_lo > k_hi:
+                continue
+            if m.block_size is None:
+                return True
+            blk = j // m.block_size
+            first = max(j + k_lo, blk * m.block_size)
+            last = min(j + k_hi, (blk + 1) * m.block_size - 1)
+            if first <= last:
+                return True
+        return False
+
+    def predecessors(self, s: int) -> int:
+        """How many earlier supernodes reach supernode ``s``."""
+        reach_sn = -(-self.matrix.bandwidth // self.supernode)
+        return sum(
+            1
+            for k in range(max(0, s - reach_sn - 1), s)
+            if self._connected(k, s)
+        )
+
+    def successors(self, s: int) -> List[int]:
+        """Later supernodes that columns of ``s`` update."""
+        _lo, hi = self.sn_columns(s)
+        out = []
+        for t in range(s + 1, self.n_supernodes):
+            tlo, _thi = self.sn_columns(t)
+            if hi - 1 + self.matrix.bandwidth < tlo:
+                break
+            if self._connected(s, t):
+                out.append(t)
+        return out
+
+
+class CholeskyShared:
+    """The shared state of one factorization run."""
+
+    def __init__(self, cluster: Cluster, cfg: CholeskyConfig):
+        m = cfg.matrix
+        self.bands = SharedArray(
+            cluster.alloc_shared((m.n, m.bandwidth + 1)), "chol-bands"
+        )
+        self.bands.data[:] = m.bands
+        s = cfg.n_supernodes
+        # control block: bag entries + head/tail + per-supernode pending
+        # + done counter, in shared memory like the SPLASH task queue.
+        self.bag = SharedScalarTable(
+            SharedArray(cluster.alloc_shared((s + 2,)), "chol-bag"))
+        self.pending = SharedScalarTable(
+            SharedArray(cluster.alloc_shared((s + 1,)), "chol-pending"))
+        for t in range(s):
+            self.pending.arr.data[t] = cfg.predecessors(t)
+        self.pending.arr.data[s] = 0.0  # done counter
+        head = 0
+        for t in range(s):
+            if cfg.predecessors(t) == 0:
+                self.bag.arr.data[2 + head] = t
+                head += 1
+        self.bag.arr.data[0] = 0.0    # head
+        self.bag.arr.data[1] = head   # tail
+        self.s = s
+
+
+def _factor_internal(cfg: CholeskyConfig, bands: np.ndarray,
+                     lo: int, hi: int) -> int:
+    """cdiv of columns [lo, hi) plus updates landing *inside* [lo, hi).
+
+    Real arithmetic, canonical column order; returns the flop count for
+    pricing.  External updates (into later supernodes) are applied
+    separately under each target's own column lock."""
+    n, b = cfg.matrix.n, cfg.matrix.bandwidth
+    flops = 0
+    for j in range(lo, hi):
+        d = np.sqrt(bands[j, 0])
+        bands[j, :] /= d
+        reach = min(b, n - 1 - j, hi - 1 - j)
+        flops += b + 2
+        for k in range(1, reach + 1):
+            ell = bands[j, k]
+            if ell != 0.0:
+                bands[j + k, : b + 1 - k] -= ell * bands[j, k:]
+                flops += 2 * (b + 1 - k)
+    return flops
+
+
+def _apply_external(cfg: CholeskyConfig, bands: np.ndarray,
+                    lo: int, hi: int, tlo: int, thi: int) -> int:
+    """Updates from finished columns [lo, hi) into targets [tlo, thi)."""
+    n, b = cfg.matrix.n, cfg.matrix.bandwidth
+    flops = 0
+    for j in range(lo, hi):
+        k_lo = max(1, tlo - j)
+        k_hi = min(b, n - 1 - j, thi - 1 - j)
+        for k in range(k_lo, k_hi + 1):
+            ell = bands[j, k]
+            if ell != 0.0:
+                bands[j + k, : b + 1 - k] -= ell * bands[j, k:]
+                flops += 2 * (b + 1 - k)
+    return flops
+
+
+def cholesky_kernel(ctx: Context, cfg: CholeskyConfig,
+                    sh: CholeskyShared) -> Generator:
+    """SPMD worker: pull ready supernodes from the bag until all done."""
+    m = cfg.matrix
+    s_total = sh.s
+    done_idx = s_total  # index of the done counter in `pending`
+    backoff = SPIN_BACKOFF_CYCLES
+
+    while True:
+        # ---- poll the bag (the done counter lives under the same lock) ----
+        yield from ctx.acquire(BAG_LOCK)
+        head = yield from sh.bag.get(ctx, 0)
+        tail = yield from sh.bag.get(ctx, 1)
+        task = -1
+        all_done = False
+        if head < tail:
+            task = int((yield from sh.bag.get(ctx, 2 + int(head))))
+            yield from sh.bag.set(ctx, 0, head + 1)
+        else:
+            done = yield from sh.pending.get(ctx, done_idx)
+            all_done = int(done) >= s_total
+        yield from ctx.release(BAG_LOCK)
+
+        if task < 0:
+            if all_done:
+                break
+            yield from ctx.idle(backoff)
+            backoff = min(2 * backoff, SPIN_BACKOFF_MAX_CYCLES)
+            continue
+        backoff = SPIN_BACKOFF_CYCLES
+
+        # ---- factor the supernode (own column lock only) -------------------
+        lo, hi = cfg.sn_columns(task)
+        succ = cfg.successors(task)
+        yield from ctx.acquire(SN_LOCK_BASE + task)
+        yield from ctx.read_runs(
+            sh.bands.runs_for((slice(lo, hi), slice(None))))
+        yield from ctx.write_runs(
+            sh.bands.runs_for((slice(lo, hi), slice(None))))
+        flops = _factor_internal(cfg, sh.bands.data, lo, hi)
+        yield from ctx.compute(flops * CYCLES_PER_FLOP)
+
+        # ---- push updates into each later supernode under its own
+        # column lock (short critical sections: the paper's column-lock
+        # discipline), decrementing its readiness counter while held.
+        newly_ready = []
+        for t in succ:
+            tlo, thi = cfg.sn_columns(t)
+            yield from ctx.acquire(SN_LOCK_BASE + t)
+            yield from ctx.read_runs(
+                sh.bands.runs_for((slice(tlo, thi), slice(None))))
+            yield from ctx.write_runs(
+                sh.bands.runs_for((slice(tlo, thi), slice(None))))
+            f = _apply_external(cfg, sh.bands.data, lo, hi, tlo, thi)
+            yield from ctx.compute(f * CYCLES_PER_FLOP)
+            left = yield from sh.pending.add(ctx, t, -1.0)
+            if left == 0:
+                newly_ready.append(t)
+            yield from ctx.release(SN_LOCK_BASE + t)
+        # One bag critical section per task: push any newly ready
+        # supernodes and bump the completion counter together.
+        yield from ctx.acquire(BAG_LOCK)
+        if newly_ready:
+            tail = yield from sh.bag.get(ctx, 1)
+            for t in sorted(newly_ready):
+                yield from sh.bag.set(ctx, 2 + int(tail), t)
+                tail += 1
+            yield from sh.bag.set(ctx, 1, tail)
+        yield from sh.pending.add(ctx, done_idx, 1.0)
+        yield from ctx.release(BAG_LOCK)
+        yield from ctx.release(SN_LOCK_BASE + task)
+    yield from ctx.barrier(0)
+    return None
+
+
+def dsm_pages_needed(cfg: CholeskyConfig, params: SimParams) -> int:
+    """Segment sizing helper."""
+    band_bytes = cfg.matrix.n * (cfg.matrix.bandwidth + 1) * 8
+    return -(-band_bytes // params.page_size_bytes) + 8
+
+
+def run_cholesky(params: SimParams, interface: str,
+                 cfg: CholeskyConfig) -> Tuple[RunStats, np.ndarray]:
+    """Run one Cholesky experiment; returns (stats, factor bands)."""
+    params = params.replace(
+        dsm_address_space_pages=max(params.dsm_address_space_pages,
+                                    dsm_pages_needed(cfg, params))
+    )
+    cluster = Cluster(params, interface=interface)
+    sh = CholeskyShared(cluster, cfg)
+    stats = cluster.run(lambda ctx: cholesky_kernel(ctx, cfg, sh))
+    return stats, sh.bands.data.copy()

@@ -1,0 +1,136 @@
+"""Jacobi iteration — the paper's coarse-grained benchmark.
+
+Section 3.1: "Jacobi is a coarse-grained application with two major
+synchronization points per iteration and a high computation/
+communication ratio.  Each point in the strip is iteratively calculated
+from the values of its neighbors."  Run with 128x128, 256x256, 512x512
+and 1024x1024 matrices in the paper's figures.
+
+Structure: the grid is block-partitioned by rows; each processor updates
+its strip from the previous grid (reading one boundary row from each
+neighbour) into the next grid, with a barrier after the sweep and a
+barrier after the (pointer) swap — the two synchronization points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+from ..engine import RunStats
+from ..params import SimParams
+from ..runtime import Cluster, Context
+from .base import SharedArray
+
+#: CPU cycles charged per grid-point relaxation: four loads, three adds,
+#: one multiply, one store plus index arithmetic and loop overhead on a
+#: 166 MHz Alpha — the "high computation/communication ratio" the paper
+#: attributes to Jacobi comes from this constant being large relative to
+#: the per-page communication costs.
+CYCLES_PER_POINT = 40.0
+
+
+@dataclass(frozen=True)
+class JacobiConfig:
+    """One Jacobi experiment."""
+
+    n: int = 128
+    iterations: int = 10
+
+    def __post_init__(self):
+        if self.n < 4:
+            raise ValueError("grid too small")
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+
+
+def _strip(n: int, rank: int, nprocs: int) -> Tuple[int, int]:
+    """Interior rows [lo, hi) owned by ``rank`` (rows 0 and n-1 fixed)."""
+    interior = n - 2
+    per = interior // nprocs
+    extra = interior % nprocs
+    lo = 1 + rank * per + min(rank, extra)
+    hi = lo + per + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def initialize_grid(n: int) -> np.ndarray:
+    """The boundary-value problem both implementations solve: a hot top
+    edge, cold other edges, zero interior."""
+    g = np.zeros((n, n))
+    g[0, :] = 100.0
+    return g
+
+
+def sequential_reference(cfg: JacobiConfig) -> np.ndarray:
+    """Pure-numpy reference result for correctness checks."""
+    cur = initialize_grid(cfg.n)
+    nxt = cur.copy()
+    for _ in range(cfg.iterations):
+        nxt[1:-1, 1:-1] = 0.25 * (
+            cur[:-2, 1:-1] + cur[2:, 1:-1] + cur[1:-1, :-2] + cur[1:-1, 2:]
+        )
+        cur, nxt = nxt, cur
+    return cur
+
+
+def jacobi_kernel(ctx: Context, cfg: JacobiConfig,
+                  grids: List[SharedArray]) -> Generator:
+    """SPMD Jacobi worker."""
+    n = cfg.n
+    lo, hi = _strip(n, ctx.rank, ctx.nprocs)
+    cur, nxt = grids
+    for it in range(cfg.iterations):
+        if hi > lo:
+            # Read the strip plus its two boundary rows from `cur`...
+            yield from ctx.read_runs(cur.runs_for((slice(lo - 1, hi + 1),
+                                                   slice(None))))
+            # ...compute (priced per point, executed for real)...
+            yield from ctx.compute((hi - lo) * (n - 2) * CYCLES_PER_POINT)
+            # ...and write the strip of `nxt`.
+            yield from ctx.write_runs(nxt.runs_for((slice(lo, hi),
+                                                    slice(None))))
+            nxt.data[lo:hi, 1:-1] = 0.25 * (
+                cur.data[lo - 1:hi - 1, 1:-1] + cur.data[lo + 1:hi + 1, 1:-1]
+                + cur.data[lo:hi, :-2] + cur.data[lo:hi, 2:]
+            )
+            # boundary columns stay fixed
+            nxt.data[lo:hi, 0] = cur.data[lo:hi, 0]
+            nxt.data[lo:hi, -1] = cur.data[lo:hi, -1]
+        # Synchronization point 1: everybody's strip is written.
+        yield from ctx.barrier(0)
+        cur, nxt = nxt, cur
+        # Synchronization point 2: the swap is globally agreed.
+        yield from ctx.barrier(1)
+    return None
+
+
+def build_jacobi(cluster: Cluster, cfg: JacobiConfig) -> List[SharedArray]:
+    """Allocate and initialize the two grids on a cluster."""
+    a = SharedArray(cluster.alloc_shared((cfg.n, cfg.n)), "jacobi-a")
+    b = SharedArray(cluster.alloc_shared((cfg.n, cfg.n)), "jacobi-b")
+    a.data[:] = initialize_grid(cfg.n)
+    b.data[:] = a.data
+    return [a, b]
+
+
+def dsm_pages_needed(cfg: JacobiConfig, params: SimParams) -> int:
+    """Segment sizing helper for experiment drivers."""
+    grid_pages = -(-cfg.n * cfg.n * 8 // params.page_size_bytes)
+    return 2 * (grid_pages + 1) + 8
+
+
+def run_jacobi(params: SimParams, interface: str,
+               cfg: JacobiConfig) -> Tuple[RunStats, np.ndarray]:
+    """Run one Jacobi experiment; returns (stats, final grid)."""
+    params = params.replace(
+        dsm_address_space_pages=max(params.dsm_address_space_pages,
+                                    dsm_pages_needed(cfg, params))
+    )
+    cluster = Cluster(params, interface=interface, home_scheme="block")
+    grids = build_jacobi(cluster, cfg)
+    stats = cluster.run(lambda ctx: jacobi_kernel(ctx, cfg, grids))
+    final = grids[cfg.iterations % 2].data
+    return stats, final.copy()

@@ -1,0 +1,68 @@
+"""Centralized barrier manager state.
+
+Barriers are the release-consistency workhorse of all three benchmark
+applications.  The manager (node 0) gathers one arrival — carrying the
+arriver's new intervals — from every participant, merges the interval
+sets, and broadcasts a release carrying the merged set; arrival is a
+release operation, departure an acquire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .interval import Interval
+
+
+@dataclass
+class BarrierEpisode:
+    """One in-progress barrier crossing at the manager."""
+
+    episode: int
+    arrived: Set[int] = field(default_factory=set)
+    intervals: List[Interval] = field(default_factory=list)
+
+    def arrive(self, node: int, intervals: List[Interval]) -> None:
+        """Register one participant's arrival."""
+        if node in self.arrived:
+            raise ValueError(f"node {node} arrived twice at episode {self.episode}")
+        self.arrived.add(node)
+        self.intervals.extend(intervals)
+
+
+class BarrierManager:
+    """Manager-side state for all barriers (keyed by barrier id)."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("need at least one participant")
+        self.nprocs = nprocs
+        self._episodes: Dict[int, BarrierEpisode] = {}
+        self._episode_counter: Dict[int, int] = {}
+        self.crossings = 0
+
+    def arrive(self, barrier_id: int, node: int,
+               intervals: List[Interval]) -> BarrierEpisode:
+        """Record an arrival; returns the episode (complete or not)."""
+        ep = self._episodes.get(barrier_id)
+        if ep is None:
+            n = self._episode_counter.get(barrier_id, 0) + 1
+            self._episode_counter[barrier_id] = n
+            ep = BarrierEpisode(episode=n)
+            self._episodes[barrier_id] = ep
+        ep.arrive(node, intervals)
+        return ep
+
+    def is_complete(self, barrier_id: int) -> bool:
+        """Whether every participant has arrived."""
+        ep = self._episodes.get(barrier_id)
+        return ep is not None and len(ep.arrived) == self.nprocs
+
+    def complete(self, barrier_id: int) -> BarrierEpisode:
+        """Close the episode and hand back its merged intervals."""
+        ep = self._episodes.pop(barrier_id, None)
+        if ep is None or len(ep.arrived) != self.nprocs:
+            raise RuntimeError(f"barrier {barrier_id} is not complete")
+        self.crossings += 1
+        return ep

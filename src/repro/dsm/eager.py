@@ -1,0 +1,126 @@
+"""Eager release consistency — the protocol ablation.
+
+Section 3 of the paper picks a *lazy* invalidate release-consistency
+protocol "because it has been shown that invalidate protocols work best
+in low overhead environments".  This module provides the classical
+alternative the literature compared against (Munin-style eager RC):
+
+* at every release, the releaser **pushes** its interval's write notices
+  to every other node and blocks until all acknowledge;
+* acquires and barrier departures then carry no piggybacked intervals —
+  everyone is already up to date.
+
+Traffic trade-off: lazy sends notices only along synchronization edges
+that need them; eager pays (P-1) invalidations + (P-1) acks at *every*
+release.  ``benchmarks/test_ablation_protocol.py`` measures the
+difference on both network interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..engine import SimulationError
+from ..network import Packet
+from .interval import Interval, WriteNotice
+from .messages import BarrierArrive, InvAck, Invalidate, MsgType
+from .protocol import DsmEngine
+
+
+class EagerDsmEngine(DsmEngine):
+    """Eager-RC variant of the protocol engine.
+
+    Inherits all machinery (locks, barriers, fetch, diffs); overrides
+    the release side to broadcast invalidations and the grant/barrier
+    paths to stop piggybacking intervals.
+    """
+
+    def end_interval(self) -> Generator:
+        """Close the interval and eagerly broadcast its write notices.
+
+        The releaser blocks until every peer has acknowledged — the cost
+        lazy RC exists to avoid.
+        """
+        if not self.collector:
+            return None
+        seq = self.vc.tick(self.me)
+        page_bytes = self.collector.drain()
+        notices = []
+        for page, nbytes in sorted(page_bytes.items()):
+            notices.append(WriteNotice(page, self.me, seq, nbytes))
+            self.diff_store[(page, seq)] = nbytes
+            yield from self.node.flush_page(page)
+        interval = Interval(self.me, seq, tuple(notices))
+        self.ilog.record(interval)
+        self.pages.end_interval_downgrade()
+        cost = self.params.cpu_cycles_ns(
+            self.params.notice_create_cycles * len(notices)
+        )
+        yield cost
+        self.node.account_overhead(cost)
+        self.node.counters.inc("dsm_intervals", 1)
+        self.node.counters.inc("dsm_notices_created", len(notices))
+
+        peers = [p for p in range(self.nprocs) if p != self.me]
+        if not peers:
+            return None
+        w = self._register_wait(("inv", seq), outstanding=len(peers))
+        msg = Invalidate(releaser=self.me, seq=seq, intervals=[interval])
+        self.node.counters.inc("dsm_eager_invalidations", len(peers))
+        for p in peers:
+            yield from self._app_send(p, MsgType.INVALIDATE, msg,
+                                      msg.wire_bytes)
+        yield from self._wait(w)
+        return None
+
+    # -- piggybacking disabled: everyone is already current ---------------
+    def _grant_lock(self, lock_id: int, requester: int,
+                    req_vc: List[int]) -> None:
+        from .messages import LockGrant
+
+        if requester == self.me:
+            self._finish_local_acquire(lock_id)
+            return
+        msg = LockGrant(lock_id=lock_id, granter=self.me, intervals=[])
+        self._send(requester, MsgType.LOCK_GRANT, msg, msg.wire_bytes)
+
+    def barrier(self, barrier_id: int = 0) -> Generator:
+        """Barriers degenerate to pure arrival counting under eager RC
+        (the notices travelled at the releases)."""
+        self.node.counters.inc("dsm_barriers")
+        yield from self.end_interval()
+        w = self._register_wait(("barrier", barrier_id))
+        mgr = self.homes.barrier_manager
+        msg = BarrierArrive(
+            barrier_id=barrier_id, arriver=self.me, episode=0,
+            intervals=[], vc=self.vc.as_list(),
+        )
+        if mgr == self.me:
+            cost = self.params.cpu_cycles_ns(self.params.host_protocol_cycles)
+            yield cost
+            self.node.account_overhead(cost)
+            self._barrier_arrive_logic(msg)
+        else:
+            yield from self._app_send(
+                mgr, MsgType.BARRIER_ARRIVE, msg, msg.wire_bytes
+            )
+        yield from self._wait(w)
+        return None
+
+    # -- new message handlers ------------------------------------------------
+    def handle_packet(self, packet: Packet, on_board: bool) -> Generator:
+        mt = MsgType(packet.handler_key)
+        if mt == MsgType.INVALIDATE:
+            yield self._charge_ns(on_board)
+            body = packet.payload
+            self._apply_intervals(body.intervals)
+            ack = InvAck(acker=self.me, releaser=body.releaser, seq=body.seq)
+            self._send(body.releaser, MsgType.INV_ACK, ack, ack.wire_bytes)
+            return None
+        if mt == MsgType.INV_ACK:
+            yield self._charge_ns(on_board, factor=0.25)
+            body = packet.payload
+            self._wake(("inv", body.seq))
+            return None
+        yield from super().handle_packet(packet, on_board)
+        return None

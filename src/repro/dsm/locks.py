@@ -1,0 +1,81 @@
+"""Distributed lock state machines.
+
+Locks follow the TreadMarks/LRC style: a static home node serializes
+requests; the grant itself travels from the *previous releaser* (which
+is where the write notices the acquirer needs live).  Lock state is
+split between the home's manager record and each node's local holder
+record.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+
+@dataclass
+class LockManagerRecord:
+    """Home-side record of one lock: who should grant next."""
+
+    last_owner: Optional[int] = None
+    """The node that most recently was given the lock (it, or its
+    successor chain, will grant the next request).  None: never held."""
+
+
+class LockManagerTable:
+    """All locks homed on one node."""
+
+    def __init__(self) -> None:
+        self._locks: dict = {}
+
+    def record(self, lock_id: int) -> LockManagerRecord:
+        """Get-or-create the manager record."""
+        rec = self._locks.get(lock_id)
+        if rec is None:
+            rec = LockManagerRecord()
+            self._locks[lock_id] = rec
+        return rec
+
+
+@dataclass
+class LocalLockState:
+    """One node's view of a lock it holds, held, or waits for."""
+
+    held: bool = False
+    released: bool = True
+    """``held`` and ``released`` distinguish holding, released-but-still-
+    granter (lazy), and in-transit states."""
+
+    acquiring: bool = False
+    """A request is in flight; a forwarded grant duty must queue."""
+
+    cached_ownership: bool = False
+    """We were the last releaser and nobody has taken the lock since, so
+    a re-acquire is free of traffic (lazy release's payoff)."""
+
+    pending_requester: Optional[int] = None
+    """A forwarded request that arrived while we still hold the lock; we
+    grant at release time (the grant duty queues here, not at the home)."""
+
+    pending_vc: Optional[List[int]] = None
+    """The waiting requester's vector clock (to compute owed notices)."""
+
+
+class LocalLockTable:
+    """All lock states a node has touched."""
+
+    def __init__(self) -> None:
+        self._locks: dict = {}
+
+    def state(self, lock_id: int) -> LocalLockState:
+        """Get-or-create local state."""
+        st = self._locks.get(lock_id)
+        if st is None:
+            st = LocalLockState()
+            self._locks[lock_id] = st
+        return st
+
+    def held_locks(self) -> List[int]:
+        """Locks currently held by this node (diagnostics, tests)."""
+        return sorted(k for k, v in self._locks.items() if v.held)

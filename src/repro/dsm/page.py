@@ -1,0 +1,195 @@
+"""Per-node shared-page state and the cluster-wide segment store.
+
+Data vs. state: the *values* of shared memory live once, in the
+:class:`SharedSegment`'s numpy buffer.  Because all our applications are
+properly synchronized (and the simulation kernel is sequential), reads
+through the global buffer return exactly what a real replicated DSM
+would return — DESIGN.md section 6 discusses this standard
+execution-driven trick.  What each node keeps privately is the page
+*state machine* that generates the protocol's traffic and costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..memory import AddressSpace
+
+
+class PageState(enum.Enum):
+    """Access rights of a node's copy of one shared page."""
+
+    INVALID = "invalid"
+    """No usable copy; any access faults and fetches."""
+
+    VALID_RO = "valid_ro"
+    """Clean copy; reads are free, the first write twins the page."""
+
+    WRITABLE = "writable"
+    """Twinned copy being written in the current interval."""
+
+
+@dataclass
+class PageMeta:
+    """One node's view of one shared page."""
+
+    state: PageState = PageState.INVALID
+    source: int = 0
+    """Best-known holder of a current copy (the latest writer we have a
+    notice from, or the page's home before anyone wrote it)."""
+
+    ever_valid: bool = False
+    """Whether this node has ever held a copy (first access fetches a
+    full page; later refreshes can fetch diffs)."""
+
+    pending_diffs: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    """Unapplied foreign writes: ``(proc, seq) -> modified_bytes``.  A
+    page with pending diffs and a surviving local copy fetches just the
+    diffs; a page gone INVALID refetches in full."""
+
+    twin_live: bool = False
+    """Whether a twin exists for the current interval (first-write
+    bookkeeping)."""
+
+
+class NodePageTable:
+    """All shared-page metadata for one node."""
+
+    def __init__(self, npages: int, home_of, self_id: int):
+        self._meta: List[PageMeta] = [
+            PageMeta(source=home_of(p)) for p in range(npages)
+        ]
+        self.self_id = self_id
+        self.npages = npages
+
+    def __getitem__(self, page: int) -> PageMeta:
+        return self._meta[page]
+
+    def pages_in_state(self, state: PageState) -> List[int]:
+        """All pages currently in ``state`` (diagnostics, tests)."""
+        return [i for i, m in enumerate(self._meta) if m.state == state]
+
+    def end_interval_downgrade(self) -> List[int]:
+        """Close the interval: WRITABLE pages drop their twin and become
+        VALID_RO (their writes are now published via notices).  Returns
+        the downgraded pages."""
+        out = []
+        for i, m in enumerate(self._meta):
+            if m.state == PageState.WRITABLE:
+                m.state = PageState.VALID_RO
+                m.twin_live = False
+                out.append(i)
+        return out
+
+    def apply_notice(self, page: int, proc: int, seq: int,
+                     modified_bytes: int) -> bool:
+        """Process a foreign write notice (the lazy-invalidate action).
+
+        The local copy — if one exists — is never destroyed: a node that
+        has ever held the page can always reconstruct it by applying the
+        pending writers' diffs in causal order (multiple-writer LRC).
+        The notice makes the copy *stale*: accesses fault until the owed
+        modifications are fetched (as diffs, or as a whole page when most
+        of it changed — see the engine's fault policy).
+
+        Returns True when a previously-usable copy just went stale (the
+        caller drops the board's cached buffer then).
+        """
+        m = self._meta[page]
+        if proc == self.self_id:
+            return False  # own writes never invalidate the local copy
+        m.source = proc  # latest writer becomes the fetch target
+        was_usable = m.state != PageState.INVALID and not m.pending_diffs
+        m.pending_diffs[(proc, seq)] = modified_bytes
+        return was_usable
+
+    def install_full_copy(self, page: int) -> None:
+        """A full page arrived: all pending foreign writes are subsumed."""
+        m = self._meta[page]
+        m.state = PageState.VALID_RO
+        m.ever_valid = True
+        m.pending_diffs.clear()
+
+    def apply_diffs(self, page: int, intervals: List[Tuple[int, int]]) -> None:
+        """Diff replies for ``intervals`` arrived and were applied."""
+        m = self._meta[page]
+        for key in intervals:
+            m.pending_diffs.pop(key, None)
+
+    def make_writable(self, page: int) -> None:
+        """First write of the interval: twin created, write access on."""
+        m = self._meta[page]
+        if m.state == PageState.INVALID:
+            raise ValueError(f"page {page}: cannot write an invalid copy")
+        m.state = PageState.WRITABLE
+        m.twin_live = True
+        m.ever_valid = True
+
+
+class SharedSegment:
+    """The cluster-wide shared address space and its authoritative data.
+
+    Allocation is page-granular and bump-pointer (the paper statically
+    reserves a fixed portion of the address space for DSM).  Arrays are
+    allocated page-aligned so that false sharing between *different*
+    arrays never muddies an experiment unless asked for.
+    """
+
+    def __init__(self, address_space: AddressSpace):
+        self.asp = address_space
+        self.page_size = address_space.page_size
+        self.npages = address_space.dsm_bytes // self.page_size
+        self._next_page = 0
+        self._buffers: List[np.ndarray] = []
+        #: (first_page, n_pages) of every allocation, in order.
+        self.extents: List[Tuple[int, int]] = []
+
+    def alloc(self, shape, dtype=np.float64) -> "SharedAlloc":
+        """Allocate a page-aligned shared array."""
+        arr = np.zeros(shape, dtype=dtype)
+        nbytes = int(arr.nbytes)
+        pages = max(1, -(-nbytes // self.page_size))
+        if self._next_page + pages > self.npages:
+            raise MemoryError(
+                f"DSM segment exhausted: need {pages} pages, "
+                f"{self.npages - self._next_page} free"
+            )
+        first = self._next_page
+        self._next_page += pages
+        self._buffers.append(arr)
+        self.extents.append((first, pages))
+        return SharedAlloc(self, arr, first, pages)
+
+    @property
+    def pages_allocated(self) -> int:
+        """Pages handed out so far."""
+        return self._next_page
+
+    def page_vaddr(self, page: int) -> int:
+        """Virtual address of a DSM page (same on every node: SPMD)."""
+        return self.asp.shared_page_addr(page)
+
+
+@dataclass
+class SharedAlloc:
+    """One allocation inside the shared segment."""
+
+    segment: SharedSegment
+    data: np.ndarray
+    first_page: int
+    n_pages: int
+
+    @property
+    def base_vaddr(self) -> int:
+        """Virtual base address of the allocation."""
+        return self.segment.page_vaddr(self.first_page)
+
+    def byte_offset_to_page(self, offset: int) -> int:
+        """DSM page index containing byte ``offset`` of this allocation."""
+        if not 0 <= offset < self.n_pages * self.segment.page_size:
+            raise ValueError(f"offset {offset} outside allocation")
+        return self.first_page + offset // self.segment.page_size

@@ -1,0 +1,94 @@
+"""Vector timestamps for lazy release consistency.
+
+LRC (Keleher et al., ISCA '92) orders *intervals* — the stretches of a
+processor's execution between synchronization operations — by vector
+time.  An acquiring processor must see exactly the write notices of all
+intervals that happened-before its acquire; vector clocks are how each
+node knows which notices its peer still lacks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+class VectorClock:
+    """A fixed-width vector timestamp over ``nprocs`` processors."""
+
+    __slots__ = ("v",)
+
+    def __init__(self, nprocs: int = 0, values: Sequence[int] = ()):
+        if values is not None and len(values):
+            self.v = np.asarray(values, dtype=np.int64).copy()
+        else:
+            if nprocs <= 0:
+                raise ValueError("need nprocs or explicit values")
+            self.v = np.zeros(nprocs, dtype=np.int64)
+
+    # -- constructors ------------------------------------------------------------
+    def copy(self) -> "VectorClock":
+        """Independent copy."""
+        return VectorClock(values=self.v)
+
+    @property
+    def nprocs(self) -> int:
+        """Vector width."""
+        return int(self.v.size)
+
+    # -- access ---------------------------------------------------------------
+    def __getitem__(self, proc: int) -> int:
+        return int(self.v[proc])
+
+    def tick(self, proc: int) -> int:
+        """Advance ``proc``'s component (a new interval begins); returns
+        the new sequence number."""
+        self.v[proc] += 1
+        return int(self.v[proc])
+
+    def merge(self, other: "VectorClock") -> None:
+        """Component-wise maximum, in place (acquire-side update)."""
+        self._check(other)
+        np.maximum(self.v, other.v, out=self.v)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """``self >= other`` component-wise: every interval known to
+        ``other`` is known to ``self``."""
+        self._check(other)
+        return bool(np.all(self.v >= other.v))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates: causally unordered."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def covers(self, proc: int, seq: int) -> bool:
+        """Whether interval ``(proc, seq)`` is already known."""
+        return int(self.v[proc]) >= seq
+
+    # -- comparison ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.v.shape == other.v.shape and bool(np.all(self.v == other.v))
+
+    def __hash__(self):  # pragma: no cover - explicit unhashable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.v.tolist()}"
+
+    def as_list(self) -> List[int]:
+        """Plain-list snapshot (wire representation)."""
+        return self.v.tolist()
+
+    def _check(self, other: "VectorClock") -> None:
+        if self.v.size != other.v.size:
+            raise ValueError(
+                f"vector width mismatch: {self.v.size} vs {other.v.size}"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Serialized size on the network (8 bytes per component)."""
+        return 8 * self.nprocs

@@ -1,0 +1,85 @@
+"""A deterministic pending-event set.
+
+The queue orders callbacks by ``(time, priority, sequence)``.  The
+sequence number makes ordering total and deterministic: two events
+scheduled for the same instant fire in scheduling order, which keeps
+simulation runs reproducible (a property the test-suite relies on).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Cancelled(Exception):
+    """Raised internally when a cancelled entry is popped."""
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.push`; supports cancellation."""
+
+    __slots__ = ("time", "cancelled", "callback")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+        self.callback = None  # release references early
+
+
+class EventQueue:
+    """A binary-heap pending event set with stable, deterministic order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, EventHandle]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``time``; lower ``priority`` runs first
+        among simultaneous events.  Returns a cancellable handle."""
+        if time != time:  # NaN guard
+            raise ValueError("event time is NaN")
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._heap, (time, priority, next(self._counter), handle))
+        return handle
+
+    def peek_time(self) -> float:
+        """Time of the earliest live event.
+
+        Raises :class:`IndexError` when the queue is empty.  Cancelled
+        entries are skimmed off lazily.
+        """
+        self._skim()
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[float, Callable[[], None]]:
+        """Remove and return ``(time, callback)`` of the earliest event."""
+        self._skim()
+        time, _prio, _seq, handle = heapq.heappop(self._heap)
+        callback = handle.callback
+        assert callback is not None
+        handle.callback = None
+        return time, callback
+
+    def _skim(self) -> None:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("event queue is empty")

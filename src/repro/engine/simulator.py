@@ -1,0 +1,241 @@
+"""The discrete-event simulation kernel.
+
+The kernel is a small cooperative-coroutine scheduler in the style of
+execution-driven simulators (the paper used a modified Proteus):
+simulated activities are Python generators that *actually execute* the
+work they model and ``yield`` whenever simulated time must pass or a
+synchronization must happen.
+
+A process may yield:
+
+* a ``float``/``int`` — advance simulated time by that many nanoseconds;
+* an :class:`Event` — suspend until the event is triggered; the value the
+  event was triggered with becomes the result of the ``yield``;
+* another :class:`Process` — suspend until that process terminates (join);
+  its return value becomes the result of the ``yield``.
+
+Nested coroutines compose with plain ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from .event_queue import EventQueue
+
+
+class SimulationError(RuntimeError):
+    """An error raised by the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Events follow the usual discrete-event idiom: any number of processes
+    (or plain callbacks) may wait; :meth:`trigger` wakes them all at the
+    current simulation instant (or ``delay`` ns later), passing ``value``.
+    """
+
+    __slots__ = ("sim", "_waiters", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._waiters: List[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; fires immediately if triggered."""
+        if self.triggered:
+            self.sim.call_soon(lambda: callback(self.value))
+        else:
+            self._waiters.append(callback)
+
+    def trigger(self, value: Any = None, delay: float = 0.0) -> None:
+        """Fire the event, waking all waiters.
+
+        Triggering twice is an error: events are one-shot by design so
+        that lost-wakeup bugs fail loudly instead of silently re-running.
+        """
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if delay:
+            self.sim.schedule(delay, lambda: self.trigger(value))
+            return
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.call_soon(lambda cb=cb: cb(value))
+
+
+class Process:
+    """A simulated activity: a generator driven by the kernel."""
+
+    __slots__ = ("sim", "name", "_gen", "finished", "result", "_done_event",
+                 "_waiting_handle")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {gen!r}")
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.finished = False
+        self.result: Any = None
+        self._done_event = Event(sim)
+        self._waiting_handle = None
+
+    # -- introspection -----------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def done_event(self) -> Event:
+        """Event triggered (with the return value) when the process ends."""
+        return self._done_event
+
+    # -- kernel interface ----------------------------------------------------
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        """Advance the generator one hop and dispatch on what it yields."""
+        self._waiting_handle = None
+        try:
+            if exc is not None:
+                yielded = self._gen.throw(exc)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._done_event.trigger(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._step(exc=SimulationError(
+                    f"process {self.name} yielded negative delay {yielded}"))
+                return
+            self._waiting_handle = self.sim.schedule(
+                float(yielded), lambda: self._step(None))
+        elif isinstance(yielded, Event):
+            yielded.wait(lambda v: self._step(v))
+        elif isinstance(yielded, Process):
+            yielded.done_event.wait(lambda v: self._step(v))
+        else:
+            self._step(exc=SimulationError(
+                f"process {self.name} yielded unsupported {yielded!r}"))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Only meaningful while the process is alive; interrupting a finished
+        process is a silent no-op (the interrupt lost the race).
+        """
+        if self.finished:
+            return
+        if self._waiting_handle is not None:
+            self._waiting_handle.cancel()
+            self._waiting_handle = None
+        self.sim.call_soon(lambda: self._step(exc=Interrupt(cause)))
+
+
+class Simulator:
+    """Owns the clock and the pending-event set."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self.processes: List[Process] = []
+
+    # -- time ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None], priority: int = 0):
+        """Run ``callback`` after ``delay`` ns of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, priority)
+
+    def call_soon(self, callback: Callable[[], None]):
+        """Run ``callback`` at the current instant, after pending events
+        already scheduled for this instant."""
+        return self._queue.push(self._now, callback, priority=1)
+
+    def event(self) -> Event:
+        """Create a fresh one-shot :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers itself ``delay`` ns from now."""
+        ev = Event(self)
+        self.schedule(delay, lambda: ev.trigger(value))
+        return ev
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a new process at the current instant."""
+        proc = Process(self, gen, name=name)
+        self.processes.append(proc)
+        self.call_soon(lambda: proc._step(None))
+        return proc
+
+    # -- main loop --------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the final simulated time."""
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                try:
+                    t = self._queue.peek_time()
+                except IndexError:
+                    break
+                if until is not None and t > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                t, callback = self._queue.pop()
+                assert t >= self._now, "time went backwards"
+                self._now = t
+                callback()
+                fired += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, gen: Generator, name: str = "main",
+                    max_events: Optional[int] = None) -> Any:
+        """Spawn ``gen`` and run until it finishes; return its result.
+
+        Raises :class:`SimulationError` on deadlock (queue drained while
+        the process is still waiting).
+        """
+        proc = self.spawn(gen, name=name)
+        self.run(max_events=max_events)
+        if not proc.finished:
+            raise SimulationError(
+                f"deadlock: process {name!r} never finished "
+                f"(no pending events at t={self._now} ns)")
+        return proc.result

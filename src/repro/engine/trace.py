@@ -1,0 +1,69 @@
+"""Optional, low-overhead event tracing.
+
+Tracing is off by default; when enabled the tracer keeps a bounded ring
+of ``(time_ns, source, kind, detail)`` tuples that tests and debugging
+sessions can inspect.  The bounded ring keeps long runs from exhausting
+memory when someone forgets to disable tracing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time_ns: float
+    source: str
+    kind: str
+    detail: Any = None
+
+
+class Tracer:
+    """A bounded in-memory trace sink."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.enabled = enabled
+        self.dropped = 0
+
+    def emit(self, time_ns: float, source: str, kind: str, detail: Any = None) -> None:
+        """Record one event (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(TraceRecord(time_ns, source, kind, detail))
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Snapshot of records, optionally filtered by kind/source."""
+        out = []
+        for r in self._ring:
+            if kind is not None and r.kind != kind:
+                continue
+            if source is not None and r.source != source:
+                continue
+            out.append(r)
+        return out
+
+    def clear(self) -> None:
+        """Drop all records (keeps enabled flag)."""
+        self._ring.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+#: A process-global tracer used when a component isn't given its own.
+GLOBAL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,51 @@
+"""Experiment harness: one entry per table/figure of the paper.
+
+``python -m repro.harness fig2`` regenerates Figure 2's data; see
+:mod:`repro.harness.runner` for the registry and scales.
+"""
+
+from .experiments import (
+    bandwidth_microbenchmark,
+    latency_microbenchmark,
+    message_cache_size_experiment,
+    one_way_latency_ns,
+    overhead_table_experiment,
+    page_size_experiment,
+    speedup_experiment,
+    table1_parameters,
+    unrestricted_cell_experiment,
+)
+from .export import to_csv, to_json, write_result
+from .report import ascii_plot, format_series, format_table
+from .svgplot import render_series_svg
+from .sweeps import sweep_param
+from .results import SeriesResult, TableResult
+from .runner import EXPERIMENTS, PAPER, QUICK, Scale, active_scale, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER",
+    "QUICK",
+    "Scale",
+    "SeriesResult",
+    "TableResult",
+    "active_scale",
+    "ascii_plot",
+    "bandwidth_microbenchmark",
+    "format_series",
+    "format_table",
+    "latency_microbenchmark",
+    "message_cache_size_experiment",
+    "one_way_latency_ns",
+    "overhead_table_experiment",
+    "page_size_experiment",
+    "render_series_svg",
+    "run_experiment",
+    "speedup_experiment",
+    "sweep_param",
+    "table1_parameters",
+    "to_csv",
+    "to_json",
+    "unrestricted_cell_experiment",
+    "write_result",
+]

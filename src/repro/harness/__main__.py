@@ -1,0 +1,8 @@
+"""``python -m repro.harness`` — regenerate the paper's tables/figures."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

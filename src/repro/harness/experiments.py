@@ -1,0 +1,314 @@
+"""One function per table/figure of the paper's evaluation (Section 3).
+
+Every function takes explicit workload parameters whose defaults are the
+*paper's* configuration; the benchmark suite passes scaled-down values so
+a full regeneration stays laptop-sized (set ``REPRO_FULL=1`` to run the
+paper-sized sweeps — see benchmarks/README note in EXPERIMENTS.md).
+
+Speedups are computed the way the paper computes them: execution time on
+one processor of the *same* cluster type divided by execution time on P
+processors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps import (
+    CholeskyConfig,
+    JacobiConfig,
+    WaterConfig,
+    bcsstk14_like,
+    bcsstk15_like,
+    run_cholesky,
+    run_jacobi,
+    run_water,
+)
+from ..apps.matrices import BandedSPD
+from ..engine import RunStats
+from ..params import SimParams
+from ..runtime import Cluster, MessagingService
+from .results import SeriesResult, TableResult
+
+DEFAULT_PROCS = (1, 2, 4, 8, 16, 32)
+
+
+def _run_app(app: str, params: SimParams, interface: str, workload) -> RunStats:
+    if app == "jacobi":
+        return run_jacobi(params, interface, workload)[0]
+    if app == "water":
+        return run_water(params, interface, workload)[0]
+    if app == "cholesky":
+        return run_cholesky(params, interface, workload)[0]
+    raise ValueError(f"unknown app {app!r}")
+
+
+def speedup_experiment(
+    app: str,
+    workload,
+    procs: Sequence[int] = DEFAULT_PROCS,
+    base_params: Optional[SimParams] = None,
+    name: str = "",
+) -> SeriesResult:
+    """Figures 2-4, 6-8, 10-11: speedup + network cache hit ratio vs
+    processor count, CNI and standard."""
+    base = base_params or SimParams()
+    result = SeriesResult(
+        name=name or f"{app}-speedup",
+        x_label="processors",
+        xs=[float(p) for p in procs],
+    )
+    t1: Dict[str, float] = {}
+    for iface in ("cni", "standard"):
+        p1 = base.replace(num_processors=1)
+        t1[iface] = _run_app(app, p1, iface, workload).elapsed_ns
+    for p in procs:
+        for iface in ("cni", "standard"):
+            params = base.replace(num_processors=int(p))
+            stats = _run_app(app, params, iface, workload)
+            result.add_point(f"{iface}_speedup", t1[iface] / stats.elapsed_ns)
+            if iface == "cni":
+                result.add_point(
+                    "network_cache_hit_ratio",
+                    100.0 * stats.network_cache_hit_ratio,
+                )
+    result.validate()
+    return result
+
+
+def page_size_experiment(
+    app: str,
+    workload,
+    page_sizes: Sequence[int],
+    nprocs: int = 8,
+    base_params: Optional[SimParams] = None,
+    name: str = "",
+) -> SeriesResult:
+    """Figures 5, 9, 12: speedup sensitivity to shared page size.
+
+    Speedup at each page size is against the one-processor run *at that
+    page size* (the paper's axes are speedup vs page size at 8 procs).
+    """
+    base = base_params or SimParams()
+    result = SeriesResult(
+        name=name or f"{app}-pagesize",
+        x_label="page_size_bytes",
+        xs=[float(s) for s in page_sizes],
+    )
+    for size in page_sizes:
+        for iface in ("cni", "standard"):
+            sized = base.replace(page_size_bytes=int(size))
+            t1 = _run_app(
+                app, sized.replace(num_processors=1), iface, workload
+            ).elapsed_ns
+            tp = _run_app(
+                app, sized.replace(num_processors=nprocs), iface, workload
+            ).elapsed_ns
+            result.add_point(f"{iface}_speedup", t1 / tp)
+    result.validate()
+    return result
+
+
+def overhead_table_experiment(
+    app: str,
+    workload,
+    nprocs: int = 8,
+    base_params: Optional[SimParams] = None,
+    name: str = "",
+) -> TableResult:
+    """Tables 2-4: synch overhead / synch delay / computation / total,
+    in CPU cycles summed over the processors, CNI vs standard."""
+    base = base_params or SimParams()
+    result = TableResult(
+        name=name or f"{app}-overhead",
+        columns=["time_cni_cycles", "time_standard_cycles"],
+    )
+    tables = {}
+    for iface in ("cni", "standard"):
+        params = base.replace(num_processors=nprocs)
+        stats = _run_app(app, params, iface, workload)
+        tables[iface] = stats.overhead_table(params.cpu_freq_hz)
+    for row in ("synch_overhead", "synch_delay", "computation", "total"):
+        result.add_row(row, [tables["cni"][row], tables["standard"][row]])
+    return result
+
+
+def message_cache_size_experiment(
+    workloads: Dict[str, object],
+    cache_sizes: Sequence[int],
+    nprocs: int = 8,
+    base_params: Optional[SimParams] = None,
+) -> SeriesResult:
+    """Figure 13: network cache hit ratio vs Message Cache size for the
+    8-processor versions of the three applications."""
+    base = base_params or SimParams()
+    result = SeriesResult(
+        name="mcache-size",
+        x_label="message_cache_bytes",
+        xs=[float(s) for s in cache_sizes],
+    )
+    for size in cache_sizes:
+        for app, workload in workloads.items():
+            params = base.replace(
+                num_processors=nprocs, message_cache_bytes=int(size)
+            )
+            stats = _run_app(app, params, "cni", workload)
+            result.add_point(app, 100.0 * stats.network_cache_hit_ratio)
+    result.validate()
+    return result
+
+
+def latency_microbenchmark(
+    message_sizes: Sequence[int],
+    base_params: Optional[SimParams] = None,
+) -> SeriesResult:
+    """Figure 14: best-case node-to-node latency vs message size.
+
+    The paper assumes a 100% network cache hit ratio for the CNI curve,
+    so the measurement warms the Message Cache with one send and times
+    the second, unmodified send from initiation to delivery at the
+    receiving application.
+    """
+    base = base_params or SimParams()
+    result = SeriesResult(
+        name="latency-microbench",
+        x_label="message_bytes",
+        xs=[float(s) for s in message_sizes],
+    )
+    for size in message_sizes:
+        for iface in ("cni", "standard"):
+            result.add_point(
+                f"{iface}_latency_us",
+                one_way_latency_ns(int(size), iface, base) / 1000.0,
+            )
+    result.validate()
+    return result
+
+
+def one_way_latency_ns(size: int, interface: str, base: SimParams) -> float:
+    """Measure one warmed node-to-node message latency."""
+    params = base.replace(num_processors=2, dsm_address_space_pages=16)
+    cluster = Cluster(params, interface=interface)
+    marks = {}
+    buffer_bytes = max(4096, 1 << (size - 1).bit_length()) if size else 4096
+
+    def kernel(ctx):
+        svc = MessagingService(ctx, buffer_bytes=buffer_bytes)
+        if ctx.rank == 0:
+            yield from svc.touch_send_buffer(max(size, 8))
+            yield from svc.send(1, size)     # warm the Message Cache
+            yield from ctx.barrier()
+            marks["t0"] = ctx.sim.now
+            yield from svc.send(1, size)     # the measured send
+        else:
+            yield from svc.recv()
+            yield from ctx.barrier()
+            yield from svc.recv()
+            marks["t1"] = ctx.sim.now
+
+    cluster.run(kernel)
+    return marks["t1"] - marks["t0"]
+
+
+def bandwidth_microbenchmark(
+    message_sizes: Sequence[int],
+    messages_per_burst: int = 32,
+    base_params: Optional[SimParams] = None,
+) -> SeriesResult:
+    """Extension (not a paper figure): application-to-application
+    bandwidth vs message size.
+
+    The work the paper builds on (OSIRIS, [4]) chased *bandwidth*; the
+    CNI chases latency without giving bandwidth up.  A sender streams a
+    burst of same-buffer messages; bandwidth is payload bytes over the
+    time until the last message reaches the receiving application.
+    """
+    base = base_params or SimParams()
+    result = SeriesResult(
+        name="bandwidth-microbench",
+        x_label="message_bytes",
+        xs=[float(s) for s in message_sizes],
+    )
+    for size in message_sizes:
+        for iface in ("cni", "standard"):
+            mbps = _burst_bandwidth_mbps(
+                int(size), messages_per_burst, iface, base
+            )
+            result.add_point(f"{iface}_mbps", mbps)
+    result.validate()
+    return result
+
+
+def _burst_bandwidth_mbps(size: int, count: int, interface: str,
+                          base: SimParams) -> float:
+    params = base.replace(num_processors=2, dsm_address_space_pages=16)
+    cluster = Cluster(params, interface=interface)
+    marks = {}
+    buffer_bytes = max(4096, 1 << (max(size, 1) - 1).bit_length())
+
+    def kernel(ctx):
+        svc = MessagingService(ctx, n_recv_buffers=count + 2,
+                               buffer_bytes=buffer_bytes)
+        if ctx.rank == 0:
+            yield from svc.touch_send_buffer(max(size, 8))
+            marks["t0"] = ctx.sim.now
+            for _ in range(count):
+                yield from svc.send(1, size)
+        else:
+            for _ in range(count):
+                yield from svc.recv()
+            marks["t1"] = ctx.sim.now
+
+    cluster.run(kernel)
+    seconds = (marks["t1"] - marks["t0"]) / 1e9
+    return (size * count * 8) / seconds / 1e6 if seconds > 0 else 0.0
+
+
+def unrestricted_cell_experiment(
+    workloads: Dict[str, object],
+    nprocs: int = 8,
+    base_params: Optional[SimParams] = None,
+) -> TableResult:
+    """Table 5: % execution-time improvement for the CNI cluster when
+    the ATM's 53-byte cell becomes unlimited (no SAR overhead)."""
+    base = base_params or SimParams()
+    result = TableResult(
+        name="unrestricted-cell",
+        columns=["pct_improvement"],
+    )
+    for app, workload in workloads.items():
+        params = base.replace(num_processors=nprocs)
+        with_cells = _run_app(app, params, "cni", workload)
+        no_cells = _run_app(
+            app, params.replace(unrestricted_cell_size=True), "cni", workload
+        )
+        pct = 100.0 * (1.0 - no_cells.elapsed_ns / with_cells.elapsed_ns)
+        result.add_row(app, [pct])
+    return result
+
+
+def table1_parameters() -> TableResult:
+    """Table 1: the simulation parameters actually in force."""
+    p = SimParams()
+    result = TableResult(name="simulation-parameters", columns=["value"])
+    rows = [
+        ("cpu_frequency_mhz", p.cpu_freq_hz / 1e6),
+        ("l1_access_cycles", p.l1_access_cycles),
+        ("l1_size_kb", p.l1_size_bytes / 1024),
+        ("l2_access_cycles", p.l2_access_cycles),
+        ("l2_size_kb", p.l2_size_bytes / 1024),
+        ("memory_latency_cycles", p.memory_latency_cycles),
+        ("bus_acquisition_cycles", p.bus_acquisition_cycles),
+        ("bus_cycles_per_word", p.bus_cycles_per_word),
+        ("bus_frequency_mhz", p.bus_freq_hz / 1e6),
+        ("switch_latency_ns", p.switch_latency_ns),
+        ("ni_frequency_mhz", p.ni_freq_hz / 1e6),
+        ("wire_latency_ns", p.wire_latency_ns),
+        ("interrupt_latency_us", p.interrupt_latency_ns / 1000),
+        ("message_cache_kb", p.message_cache_bytes / 1024),
+    ]
+    for label, value in rows:
+        result.add_row(label, [float(value)])
+    return result

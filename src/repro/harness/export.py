@@ -1,0 +1,72 @@
+"""Result export: CSV and JSON for external plotting tools.
+
+``python -m repro.harness`` prints text; programmatic users (or anyone
+regenerating the paper's figures with matplotlib/gnuplot) can dump any
+result via these helpers instead.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Union
+
+from .results import SeriesResult, TableResult
+
+Result = Union[SeriesResult, TableResult]
+
+
+def to_csv(result: Result) -> str:
+    """Render a result as CSV text (header row + data rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    if isinstance(result, SeriesResult):
+        names = list(result.series)
+        writer.writerow([result.x_label] + names)
+        for i, x in enumerate(result.xs):
+            writer.writerow([x] + [result.series[n][i] for n in names])
+    elif isinstance(result, TableResult):
+        writer.writerow(["row"] + list(result.columns))
+        for label, values in result.rows.items():
+            writer.writerow([label] + list(values))
+    else:
+        raise TypeError(f"cannot export {type(result).__name__}")
+    return buf.getvalue()
+
+
+def to_json(result: Result, indent: int = 2) -> str:
+    """Render a result as a JSON document."""
+    if isinstance(result, SeriesResult):
+        doc = {
+            "kind": "series",
+            "name": result.name,
+            "x_label": result.x_label,
+            "xs": result.xs,
+            "series": result.series,
+            "notes": result.notes,
+        }
+    elif isinstance(result, TableResult):
+        doc = {
+            "kind": "table",
+            "name": result.name,
+            "columns": list(result.columns),
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+    else:
+        raise TypeError(f"cannot export {type(result).__name__}")
+    return json.dumps(doc, indent=indent)
+
+
+def write_result(result: Result, path: str) -> None:
+    """Write a result to ``path``; the suffix picks the format
+    (``.csv`` or ``.json``)."""
+    if path.endswith(".csv"):
+        text = to_csv(result)
+    elif path.endswith(".json"):
+        text = to_json(result)
+    else:
+        raise ValueError(f"unsupported export suffix in {path!r}")
+    with open(path, "w") as fh:
+        fh.write(text)

@@ -1,0 +1,64 @@
+"""Plain-text rendering of harness results (the rows the paper plots)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .results import SeriesResult, TableResult
+
+
+def format_series(result: SeriesResult, width: int = 12) -> str:
+    """Render a figure's data as an aligned text table."""
+    names = list(result.series)
+    header = [result.x_label.rjust(width)] + [n.rjust(max(width, len(n)))
+                                              for n in names]
+    lines = [" ".join(header)]
+    for i, x in enumerate(result.xs):
+        cells = [f"{x:>{width}.6g}"]
+        for n in names:
+            w = max(width, len(n))
+            cells.append(f"{result.series[n][i]:>{w}.6g}")
+        lines.append(" ".join(cells))
+    out = [f"== {result.name} =="] + lines
+    if result.notes:
+        out.append(f"   ({result.notes})")
+    return "\n".join(out)
+
+
+def format_table(result: TableResult, width: int = 18) -> str:
+    """Render a table's data with labelled rows."""
+    label_w = max([len(r) for r in result.rows] + [8])
+    header = " ".join(
+        ["row".ljust(label_w)] + [c.rjust(max(width, len(c)))
+                                  for c in result.columns]
+    )
+    lines = [f"== {result.name} ==", header]
+    for label, values in result.rows.items():
+        cells = [label.ljust(label_w)]
+        for c, v in zip(result.columns, values):
+            w = max(width, len(c))
+            cells.append(f"{v:>{w}.6g}")
+        lines.append(" ".join(cells))
+    if result.notes:
+        lines.append(f"   ({result.notes})")
+    return "\n".join(lines)
+
+
+def ascii_plot(result: SeriesResult, series_name: str, height: int = 12,
+               width: int = 60) -> str:
+    """A rough terminal plot of one series (useful when eyeballing the
+    shape against the paper's figure)."""
+    ys = result.series[series_name]
+    if not ys:
+        return "(empty series)"
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    rows: List[List[str]] = [[" "] * width for _ in range(height)]
+    n = len(ys)
+    for i, y in enumerate(ys):
+        col = int(i * (width - 1) / max(1, n - 1))
+        row = int((y - lo) / span * (height - 1))
+        rows[height - 1 - row][col] = "*"
+    out = [f"-- {result.name}:{series_name} (min={lo:.4g} max={hi:.4g}) --"]
+    out.extend("".join(r) for r in rows)
+    return "\n".join(out)

@@ -1,0 +1,58 @@
+"""Result containers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class SeriesResult:
+    """An x-vs-several-ys result (one figure)."""
+
+    name: str
+    x_label: str
+    xs: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_point(self, series_name: str, value: float) -> None:
+        """Append one y value to ``series_name``."""
+        self.series.setdefault(series_name, []).append(value)
+
+    def get(self, series_name: str) -> List[float]:
+        """One named series."""
+        return self.series[series_name]
+
+    def validate(self) -> None:
+        """Every series must align with the x axis."""
+        for name, ys in self.series.items():
+            if len(ys) != len(self.xs):
+                raise ValueError(
+                    f"{self.name}: series {name!r} has {len(ys)} points "
+                    f"for {len(self.xs)} x values"
+                )
+
+
+@dataclass
+class TableResult:
+    """A labelled-rows result (one table)."""
+
+    name: str
+    columns: List[str]
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, label: str, values: Sequence[float]) -> None:
+        """Add one row; must match the column count."""
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.name}: row {label!r} has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows[label] = values
+
+    def cell(self, row: str, column: str) -> float:
+        """Single-cell access by labels."""
+        return self.rows[row][self.columns.index(column)]

@@ -1,0 +1,64 @@
+"""Generic design-space sweeps over simulation parameters.
+
+The paper's evaluation sweeps two knobs (shared page size, Message Cache
+size); its discussion motivates others — "as network interface
+processors are getting more and more powerful, substantial overhead can
+be reduced if protocol processing can be done in the network interface".
+This utility sweeps *any* :class:`~repro.params.SimParams` field against
+any application workload, so such what-ifs are one call::
+
+    sweep_param("cholesky", workload, "ni_freq_hz",
+                [16.5e6, 33e6, 66e6, 132e6])
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..params import SimParams
+from .experiments import _run_app
+from .results import SeriesResult
+
+
+def sweep_param(
+    app: str,
+    workload,
+    param_name: str,
+    values: Sequence,
+    nprocs: int = 8,
+    interfaces: Sequence[str] = ("cni", "standard"),
+    base_params: Optional[SimParams] = None,
+    metric: str = "elapsed_ms",
+) -> SeriesResult:
+    """Run ``app`` across ``values`` of one parameter.
+
+    ``metric`` selects the y series: ``elapsed_ms``, ``speedup_vs_first``
+    (normalized to each interface's first point) or ``hit_ratio_pct``.
+    """
+    base = base_params or SimParams()
+    if not hasattr(base, param_name):
+        raise AttributeError(f"SimParams has no field {param_name!r}")
+    if metric not in ("elapsed_ms", "speedup_vs_first", "hit_ratio_pct"):
+        raise ValueError(f"unknown metric {metric!r}")
+    result = SeriesResult(
+        name=f"sweep-{param_name}-{app}",
+        x_label=param_name,
+        xs=[float(v) for v in values],
+    )
+    for iface in interfaces:
+        raw = []
+        for v in values:
+            params = base.replace(
+                **{param_name: v, "num_processors": nprocs}
+            )
+            stats = _run_app(app, params, iface, workload)
+            if metric == "hit_ratio_pct":
+                raw.append(100.0 * stats.network_cache_hit_ratio)
+            else:
+                raw.append(stats.elapsed_ns / 1e6)
+        if metric == "speedup_vs_first":
+            first = raw[0]
+            raw = [first / v for v in raw]
+        result.series[f"{iface}_{metric}"] = raw
+    result.validate()
+    return result

@@ -1,0 +1,52 @@
+"""Main-memory accounting for one workstation node.
+
+Data itself lives in the DSM segment store (:mod:`repro.dsm.page`); this
+module accounts the *behaviour* of the DRAM: how many line fills and
+write-backs it served, which the evaluation uses to explain where bus
+traffic comes from.
+"""
+
+from __future__ import annotations
+
+from ..params import SimParams
+
+
+class MainMemory:
+    """Latency/traffic bookkeeping for a node's DRAM."""
+
+    def __init__(self, params: SimParams, node_id: int):
+        self.params = params
+        self.node_id = node_id
+        self.line_fills = 0
+        self.writebacks = 0
+        self.dma_reads = 0
+        self.dma_writes = 0
+
+    def record_fills(self, count: int) -> None:
+        """Cache-miss line fills served."""
+        if count < 0:
+            raise ValueError("negative fill count")
+        self.line_fills += count
+
+    def record_writebacks(self, count: int) -> None:
+        """Dirty-line write-backs received."""
+        if count < 0:
+            raise ValueError("negative writeback count")
+        self.writebacks += count
+
+    def record_dma(self, nbytes: int, is_read: bool) -> None:
+        """A board DMA read (host->board) or write (board->host)."""
+        if is_read:
+            self.dma_reads += nbytes
+        else:
+            self.dma_writes += nbytes
+
+    @property
+    def fill_bytes(self) -> int:
+        """Bytes moved by line fills."""
+        return self.line_fills * self.params.cache_line_bytes
+
+    @property
+    def writeback_bytes(self) -> int:
+        """Bytes moved by write-backs."""
+        return self.writebacks * self.params.cache_line_bytes

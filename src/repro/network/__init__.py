@@ -1,0 +1,35 @@
+"""ATM interconnect models: cells, AAL5 SAR, banyan switch, fabric.
+
+The 53-byte cell and its per-cell SAR cost are first-class here because
+the paper's own performance analysis (Section 3.4, Table 5) identifies
+them as the factor that principally limits CNI's gains.
+"""
+
+from .cell import (
+    FLAG_CACHEABLE,
+    HEADER_BYTES,
+    AtmCell,
+    CellTrain,
+    Packet,
+    PacketKind,
+    parse_header,
+)
+from .fragmentation import Reassembler, ReassemblyStats, Segmenter
+from .switch import BanyanFabric, BanyanSwitch
+from .topology import Network
+
+__all__ = [
+    "AtmCell",
+    "BanyanFabric",
+    "BanyanSwitch",
+    "CellTrain",
+    "FLAG_CACHEABLE",
+    "HEADER_BYTES",
+    "Network",
+    "Packet",
+    "PacketKind",
+    "Reassembler",
+    "ReassemblyStats",
+    "Segmenter",
+    "parse_header",
+]

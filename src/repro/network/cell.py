@@ -1,0 +1,177 @@
+"""Packets and ATM cells.
+
+A :class:`Packet` is what the NICs exchange: a small fixed-layout binary
+header (what the PATHFINDER classifies on) plus an arbitrary payload
+descriptor.  On the wire a packet becomes AAL5-framed ATM cells
+(:mod:`repro.network.fragmentation`).
+
+The header layout is deliberately concrete — 16 bytes, big-endian — so
+that the PATHFINDER works on real byte patterns rather than on Python
+attributes, as the hardware does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+HEADER_BYTES = 16
+_HEADER_STRUCT = struct.Struct(">BBHHHHIxx")  # kind, flags, src, dst, chan, handler, len
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(enum.IntEnum):
+    """First header byte: coarse packet class."""
+
+    DATA = 1
+    """Application message-passing data."""
+
+    DSM_PROTOCOL = 2
+    """DSM consistency-protocol control (lock, barrier, write notices)."""
+
+    DSM_PAGE = 3
+    """A shared-memory page (or diff) in flight."""
+
+    CONTROL = 4
+    """Connection setup / teardown (kernel-mediated)."""
+
+
+FLAG_CACHEABLE = 0x01
+"""Header flag: this buffer should be entered into the Message Cache
+(Section 2.2: 'checks the incoming message header for a bit to see if it
+is to be cached')."""
+
+
+@dataclass
+class Packet:
+    """One network-level message."""
+
+    kind: PacketKind
+    src_node: int
+    dst_node: int
+    channel_id: int
+    """Application Device Channel (connection) the packet belongs to."""
+
+    handler_key: int = 0
+    """Selector for the protocol action / AIH entry point; the field the
+    VCI is too coarse to express (Section 2.1)."""
+
+    payload_bytes: int = 0
+    """Size of the payload on the wire (drives cell count and DMA cost)."""
+
+    payload: Any = None
+    """Simulation-level payload object (protocol message, page handle)."""
+
+    cacheable: bool = False
+    src_vaddr: Optional[int] = None
+    """Sender-side virtual address of the transmitted buffer (page sends);
+    what the transmit processor looks up in the buffer map."""
+
+    dst_vaddr: Optional[int] = None
+    """Receiver-side virtual address of the destination buffer."""
+
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ValueError("negative payload size")
+        for name in ("src_node", "dst_node", "channel_id", "handler_key"):
+            v = getattr(self, name)
+            if not 0 <= v <= 0xFFFF:
+                raise ValueError(f"{name}={v} does not fit the 16-bit header field")
+
+    @property
+    def flags(self) -> int:
+        """Header flag byte."""
+        return FLAG_CACHEABLE if self.cacheable else 0
+
+    def header_bytes(self) -> bytes:
+        """The 16-byte wire header the PATHFINDER classifies."""
+        return _HEADER_STRUCT.pack(
+            int(self.kind),
+            self.flags,
+            self.src_node,
+            self.dst_node,
+            self.channel_id,
+            self.handler_key,
+            self.payload_bytes,
+        )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Header + payload bytes presented to AAL5."""
+        return HEADER_BYTES + self.payload_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.kind.name} "
+            f"{self.src_node}->{self.dst_node} chan={self.channel_id} "
+            f"key={self.handler_key} {self.payload_bytes}B>"
+        )
+
+
+def parse_header(header: bytes) -> dict:
+    """Decode a 16-byte header; inverse of :meth:`Packet.header_bytes`."""
+    if len(header) != HEADER_BYTES:
+        raise ValueError(f"header must be {HEADER_BYTES} bytes, got {len(header)}")
+    kind, flags, src, dst, chan, key, length = _HEADER_STRUCT.unpack(header)
+    return {
+        "kind": PacketKind(kind),
+        "flags": flags,
+        "src_node": src,
+        "dst_node": dst,
+        "channel_id": chan,
+        "handler_key": key,
+        "payload_bytes": length,
+        "cacheable": bool(flags & FLAG_CACHEABLE),
+    }
+
+
+@dataclass
+class AtmCell:
+    """One 53-byte ATM cell (5-byte header + 48-byte payload).
+
+    ``eop`` marks the AAL5 end-of-packet cell (the bit real AAL5 carries
+    in the PTI field); the reassembler uses it to delimit packets.
+    """
+
+    vci: int
+    packet_id: int
+    seq: int
+    eop: bool
+    payload_len: int
+
+    def __post_init__(self):
+        if not 0 <= self.payload_len:
+            raise ValueError("negative cell payload")
+
+
+@dataclass
+class CellTrain:
+    """A batched representation of one packet's cells in flight.
+
+    The network simulates a packet's cells as a unit (exact cell count,
+    pipelined timing) to keep event counts tractable; tests that need
+    individual cells expand a train with
+    :meth:`repro.network.fragmentation.Segmenter.segment`.
+    """
+
+    packet: Packet
+    n_cells: int
+    lost_cells: int = 0
+    """Failure injection: number of cells dropped in transit."""
+
+    def __post_init__(self):
+        if self.n_cells < 1:
+            raise ValueError("a train carries at least one cell")
+        if not 0 <= self.lost_cells <= self.n_cells:
+            raise ValueError("lost more cells than the train carries")
+
+    @property
+    def intact(self) -> bool:
+        """Whether every cell arrived."""
+        return self.lost_cells == 0

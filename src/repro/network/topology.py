@@ -1,0 +1,114 @@
+"""Cluster interconnect: nodes wired to one banyan switch.
+
+Timing model for a packet of ``n`` cells from node *s* to node *d*
+(cut-through everywhere, so serialization is charged exactly once, at the
+switch output port where many-to-one contention physically queues):
+
+    wire (150 ns)  ->  switch cut-through (500 ns)
+                   ->  output-port serialization (n x 681.7 ns, FIFO)
+                   ->  wire (150 ns)  ->  destination NIC rx queue
+
+The sending NIC's transmit processor is itself a serial simulated
+process, which provides source-side serialization of back-to-back sends
+from one node (DESIGN.md documents this approximation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..engine import Mailbox, Simulator
+from ..params import SimParams
+from .cell import AtmCell, CellTrain, Packet
+from .switch import BanyanSwitch
+
+
+class Network:
+    """The cluster fabric: delivery of cell trains between NICs."""
+
+    def __init__(self, sim: Simulator, params: SimParams):
+        if params.num_processors > params.switch_ports:
+            raise ValueError(
+                f"{params.num_processors} nodes exceed the "
+                f"{params.switch_ports}-port switch"
+            )
+        self.sim = sim
+        self.params = params
+        self.switch = BanyanSwitch(sim, params)
+        #: One inbound mailbox of :class:`CellTrain` per node (the NIC's
+        #: receive processor drains it).
+        self.rx_queues: List[Mailbox] = [
+            Mailbox(sim, f"rx{i}") for i in range(params.num_processors)
+        ]
+        self.trains_delivered = 0
+        self.cells_delivered = 0
+        self.loss_injector: Optional[Callable[[CellTrain], int]] = None
+        """Failure injection hook: returns how many cells of a train to
+        drop in transit (tests exercise AAL5 drop handling with this)."""
+        self.cell_loss_injector: Optional[Callable[[AtmCell, Packet], bool]] = None
+        """Per-cell failure injection (per-cell transport mode): return
+        True to drop this cell in transit."""
+
+    def send_train(self, train: CellTrain) -> None:
+        """Launch a train asynchronously (fire-and-forget from the NIC)."""
+        self.sim.spawn(self._transfer(train), f"xfer-{train.packet.packet_id}")
+
+    def _transfer(self, train: CellTrain) -> Generator:
+        p = train.packet
+        if p.dst_node == p.src_node:
+            raise ValueError("loopback traffic never enters the fabric")
+        yield self.params.wire_latency_ns
+        yield from self.switch.transit(
+            p.src_node, p.dst_node, train.n_cells, p.wire_bytes
+        )
+        yield self.params.wire_latency_ns
+        if self.loss_injector is not None:
+            lost = self.loss_injector(train)
+            if lost:
+                train = CellTrain(train.packet, train.n_cells, lost_cells=lost)
+        self.trains_delivered += 1
+        self.rx_queues[p.dst_node].put(train)
+        return None
+
+    def send_cells(self, cells: Sequence[AtmCell], packet: Packet) -> None:
+        """Per-cell transport: launch a packet's cells individually.
+
+        Fabric timing matches the train path (the cells pipeline through
+        together); delivery hands each cell to the destination NIC as its
+        own event, which is what lets the receiving PATHFINDER route
+        fragments through its fragment table.
+        """
+        self.sim.spawn(
+            self._transfer_cells(list(cells), packet),
+            f"xfer-cells-{packet.packet_id}",
+        )
+
+    def _transfer_cells(self, cells: List[AtmCell], packet: Packet) -> Generator:
+        if packet.dst_node == packet.src_node:
+            raise ValueError("loopback traffic never enters the fabric")
+        yield self.params.wire_latency_ns
+        yield from self.switch.transit(
+            packet.src_node, packet.dst_node, len(cells), packet.wire_bytes
+        )
+        yield self.params.wire_latency_ns
+        rx = self.rx_queues[packet.dst_node]
+        for cell in cells:
+            if self.cell_loss_injector is not None and \
+                    self.cell_loss_injector(cell, packet):
+                continue
+            self.cells_delivered += 1
+            rx.put((cell, packet))
+        return None
+
+    def transfer_and_wait(self, train: CellTrain) -> Generator:
+        """Coroutine form of :meth:`send_train` (microbenchmarks)."""
+        yield from self._transfer(train)
+        return None
+
+    def min_transit_ns(self, wire_bytes: int) -> float:
+        """Uncontended fabric latency for a packet of ``wire_bytes``."""
+        return (
+            2 * self.params.wire_latency_ns
+            + self.params.switch_latency_ns
+            + self.params.train_wire_time_ns(wire_bytes)
+        )

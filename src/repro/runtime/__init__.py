@@ -1,0 +1,30 @@
+"""Cluster runtime: nodes, application contexts, messaging.
+
+Typical use::
+
+    from repro.runtime import Cluster
+    from repro.params import SimParams
+
+    cluster = Cluster(SimParams().replace(num_processors=8), interface="cni")
+    grid = cluster.alloc_shared((256, 256))
+
+    def kernel(ctx):
+        yield from ctx.compute(1000)
+        yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+"""
+
+from .cluster import AppKernel, Cluster
+from .context import Context
+from .messaging import MessagingService
+from .node import DSM_HANDLER_CODE_BYTES, Node
+
+__all__ = [
+    "AppKernel",
+    "Cluster",
+    "Context",
+    "DSM_HANDLER_CODE_BYTES",
+    "MessagingService",
+    "Node",
+]

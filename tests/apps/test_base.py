@@ -1,0 +1,164 @@
+"""Tests for the SharedArray access layer (runs_for correctness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import SharedArray, SharedScalarTable
+from repro.dsm import SharedSegment
+from repro.memory import AddressSpace
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+
+def make_array(shape, dtype=np.float64):
+    seg = SharedSegment(AddressSpace(page_size=4096, dsm_pages=256))
+    return SharedArray(seg.alloc(shape, dtype=dtype), "t")
+
+
+def expected_runs(arr: SharedArray, key):
+    """Oracle: byte runs from numpy's own address arithmetic."""
+    view = arr.data[key]
+    base_ptr = arr.data.__array_interface__["data"][0]
+    if np.isscalar(view) or view.ndim == 0:
+        # recompute via a 1-element slice trick
+        flat_index = np.ravel_multi_index(
+            tuple(np.atleast_1d(np.arange(s)[k])[0] for s, k in
+                  zip(arr.data.shape, key if isinstance(key, tuple) else (key,))),
+            arr.data.shape,
+        )
+        return [(arr.base_vaddr + int(flat_index) * arr.itemsize,
+                 arr.itemsize)]
+    rows = view.reshape(-1, view.shape[-1]) if view.ndim > 1 else view[None, :]
+    runs = []
+    for row in rows:
+        start = row.__array_interface__["data"][0] - base_ptr
+        runs.append((arr.base_vaddr + start, row.shape[0] * arr.itemsize))
+    # merge adjacent
+    merged = []
+    for vaddr, nbytes in runs:
+        if merged and merged[-1][0] + merged[-1][1] == vaddr:
+            merged[-1] = (merged[-1][0], merged[-1][1] + nbytes)
+        else:
+            merged.append((vaddr, nbytes))
+    return merged
+
+
+def normalize(runs):
+    merged = []
+    for vaddr, nbytes in sorted(runs):
+        if merged and merged[-1][0] + merged[-1][1] == vaddr:
+            merged[-1] = (merged[-1][0], merged[-1][1] + nbytes)
+        else:
+            merged.append((vaddr, nbytes))
+    return merged
+
+
+def test_full_2d_array_is_one_run():
+    arr = make_array((8, 16))
+    runs = arr.runs_for((slice(None), slice(None)))
+    assert runs == [(arr.base_vaddr, 8 * 16 * 8)]
+
+
+def test_row_selection_contiguous():
+    arr = make_array((8, 16))
+    runs = arr.runs_for(3)
+    assert runs == [(arr.base_vaddr + 3 * 16 * 8, 16 * 8)]
+
+
+def test_row_block_contiguous():
+    arr = make_array((8, 16))
+    runs = arr.runs_for((slice(2, 5), slice(None)))
+    assert runs == [(arr.base_vaddr + 2 * 16 * 8, 3 * 16 * 8)]
+
+
+def test_column_slice_one_run_per_row():
+    arr = make_array((4, 16))
+    runs = arr.runs_for((slice(None), slice(2, 6)))
+    assert len(runs) == 4
+    for r, (vaddr, nbytes) in enumerate(runs):
+        assert vaddr == arr.base_vaddr + (r * 16 + 2) * 8
+        assert nbytes == 4 * 8
+
+
+def test_scalar_index():
+    arr = make_array((4, 16))
+    assert arr.runs_for((2, 5)) == [(arr.base_vaddr + (2 * 16 + 5) * 8, 8)]
+
+
+def test_1d_slice():
+    arr = make_array((64,))
+    assert arr.runs_for(slice(10, 20)) == [(arr.base_vaddr + 80, 80)]
+
+
+def test_empty_selection():
+    arr = make_array((8, 8))
+    assert arr.runs_for(slice(3, 3)) == []
+
+
+def test_non_contiguous_array_rejected():
+    seg = SharedSegment(AddressSpace(page_size=4096, dsm_pages=16))
+    alloc = seg.alloc((8, 8))
+    alloc.data = alloc.data.T  # type: ignore[misc]
+    with pytest.raises(ValueError):
+        SharedArray(alloc, "bad")
+
+
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 20),
+    r0=st.integers(0, 5),
+    rlen=st.integers(1, 6),
+    c0=st.integers(0, 19),
+    clen=st.integers(1, 20),
+)
+@settings(max_examples=100, deadline=None)
+def test_runs_match_numpy_oracle(rows, cols, r0, rlen, c0, clen):
+    arr = make_array((rows, cols))
+    key = (slice(min(r0, rows - 1), min(r0 + rlen, rows)),
+           slice(min(c0, cols - 1), min(c0 + clen, cols)))
+    if arr.data[key].size == 0:
+        assert arr.runs_for(key) == []
+        return
+    got = normalize(arr.runs_for(key))
+    want = normalize(expected_runs(arr, key))
+    assert got == want
+    # total bytes equal the selection's size
+    assert sum(n for _, n in got) == arr.data[key].size * 8
+
+
+def test_read_write_move_real_data():
+    params = SimParams().replace(num_processors=1, dsm_address_space_pages=16)
+    cluster = Cluster(params, interface="cni")
+    arr = SharedArray(cluster.alloc_shared((4, 8)), "x")
+
+    def kernel(ctx):
+        yield from arr.write(ctx, (1, slice(None)), np.arange(8.0))
+        got = yield from arr.read(ctx, (1, slice(2, 5)))
+        assert got.tolist() == [2.0, 3.0, 4.0]
+        yield from arr.update(ctx, (1, 0), lambda v: v + 41.0)
+        assert arr.data[1, 0] == 41.0
+
+    cluster.run(kernel)
+
+
+def test_scalar_table():
+    params = SimParams().replace(num_processors=1, dsm_address_space_pages=16)
+    cluster = Cluster(params, interface="cni")
+    table = SharedScalarTable(SharedArray(cluster.alloc_shared((4,)), "t"))
+
+    def kernel(ctx):
+        yield from table.set(ctx, 0, 5.0)
+        v = yield from table.get(ctx, 0)
+        assert v == 5.0
+        new = yield from table.add(ctx, 0, -2.0)
+        assert new == 3.0
+
+    cluster.run(kernel)
+
+
+def test_scalar_table_requires_1d():
+    arr = make_array((4, 4))
+    with pytest.raises(ValueError):
+        SharedScalarTable(arr)

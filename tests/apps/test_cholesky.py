@@ -1,0 +1,123 @@
+"""Tests for the Cholesky benchmark and the synthetic matrices."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cholesky import CholeskyConfig, run_cholesky
+from repro.apps.matrices import (
+    BandedSPD,
+    band_cholesky_reference,
+    bcsstk14_like,
+    bcsstk15_like,
+    synthetic_fem_spd,
+)
+from repro.params import SimParams
+
+
+def reconstruct(bands: np.ndarray, n: int, b: int) -> np.ndarray:
+    L = np.zeros((n, n))
+    for i in range(b + 1):
+        idx = np.arange(n - i)
+        L[idx + i, idx] = bands[: n - i, i]
+    return L
+
+
+# ------------------------------------------------------------- matrices --
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        synthetic_fem_spd(1, 1)
+    with pytest.raises(ValueError):
+        synthetic_fem_spd(10, 10)
+    with pytest.raises(ValueError):
+        BandedSPD(n=4, bandwidth=2, bands=np.zeros((4, 2)))
+
+
+def test_generated_matrix_is_spd():
+    m = synthetic_fem_spd(40, 6)
+    dense = m.to_dense()
+    assert np.allclose(dense, dense.T)
+    assert np.linalg.eigvalsh(dense).min() > 0
+
+
+def test_generator_determinism():
+    a = synthetic_fem_spd(30, 5, seed=9)
+    b = synthetic_fem_spd(30, 5, seed=9)
+    assert np.array_equal(a.bands, b.bands)
+    c = synthetic_fem_spd(30, 5, seed=10)
+    assert not np.array_equal(a.bands, c.bands)
+
+
+def test_bcsstk_presets_dimensions():
+    m14 = bcsstk14_like(scale=1.0)
+    m15 = bcsstk15_like(scale=1.0)
+    assert m14.n == 1806
+    assert m15.n == 3948
+    assert m15.stored_entries > m14.stored_entries
+    small = bcsstk14_like(scale=0.05)
+    assert small.n < 120
+
+
+def test_reference_factorization_correct():
+    m = synthetic_fem_spd(48, 7, seed=1)
+    bands = band_cholesky_reference(m)
+    L = reconstruct(bands, m.n, m.bandwidth)
+    assert np.allclose(L @ L.T, m.to_dense(), atol=1e-8)
+
+
+# ------------------------------------------------------------- parallel --
+
+def test_config_defaults_and_validation():
+    cfg = CholeskyConfig()
+    assert cfg.matrix.n > 0
+    with pytest.raises(ValueError):
+        CholeskyConfig(matrix=synthetic_fem_spd(32, 4), supernode=0)
+
+
+def test_dependency_structure():
+    cfg = CholeskyConfig(matrix=synthetic_fem_spd(64, 8), supernode=4)
+    assert cfg.n_supernodes == 16
+    assert cfg.predecessors(0) == 0
+    # band reach 8 over supernodes of 4 -> two predecessors inland
+    assert cfg.predecessors(5) == 2
+    assert cfg.successors(0) == [1, 2]
+    assert cfg.successors(cfg.n_supernodes - 1) == []
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_parallel_matches_reference(iface, nprocs):
+    m = synthetic_fem_spd(48, 6, seed=4)
+    cfg = CholeskyConfig(matrix=m, supernode=4)
+    params = SimParams().replace(num_processors=nprocs)
+    stats, bands = run_cholesky(params, iface, cfg)
+    assert np.allclose(bands, band_cholesky_reference(m))
+
+
+def test_factorization_actually_factorizes():
+    m = synthetic_fem_spd(40, 5, seed=2)
+    cfg = CholeskyConfig(matrix=m, supernode=4)
+    stats, bands = run_cholesky(
+        SimParams().replace(num_processors=2), "cni", cfg)
+    L = reconstruct(bands, m.n, m.bandwidth)
+    assert np.allclose(L @ L.T, m.to_dense(), atol=1e-8)
+
+
+def test_bag_of_tasks_spreads_work():
+    m = synthetic_fem_spd(96, 8, seed=5)
+    cfg = CholeskyConfig(matrix=m, supernode=4)
+    params = SimParams().replace(num_processors=4)
+    stats, _ = run_cholesky(params, "cni", cfg)
+    # every processor did some synchronization work
+    from repro.engine import Category
+    for acc in stats.per_processor:
+        assert acc.ns[Category.SYNCH_OVERHEAD] > 0
+
+
+def test_cholesky_cni_not_slower_than_standard():
+    m = synthetic_fem_spd(48, 6, seed=6)
+    cfg = CholeskyConfig(matrix=m, supernode=4)
+    params = SimParams().replace(num_processors=4)
+    cni = run_cholesky(params, "cni", cfg)[0]
+    std = run_cholesky(params, "standard", cfg)[0]
+    assert cni.elapsed_ns <= std.elapsed_ns

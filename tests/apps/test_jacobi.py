@@ -1,0 +1,87 @@
+"""Tests for the Jacobi benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import (
+    JacobiConfig,
+    _strip,
+    initialize_grid,
+    run_jacobi,
+    sequential_reference,
+)
+from repro.params import SimParams
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        JacobiConfig(n=2)
+    with pytest.raises(ValueError):
+        JacobiConfig(n=64, iterations=0)
+
+
+def test_strip_partition_covers_interior():
+    n, nprocs = 130, 7
+    rows = []
+    for r in range(nprocs):
+        lo, hi = _strip(n, r, nprocs)
+        rows.extend(range(lo, hi))
+    assert rows == list(range(1, n - 1))
+
+
+def test_strip_balance():
+    n, nprocs = 1026, 32
+    sizes = [hi - lo for lo, hi in (_strip(n, r, nprocs) for r in range(nprocs))]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_initialize_grid():
+    g = initialize_grid(8)
+    assert g[0].sum() == 800.0
+    assert g[1:].sum() == 0.0
+
+
+def test_sequential_reference_converges_toward_smooth():
+    cfg = JacobiConfig(n=16, iterations=50)
+    g = sequential_reference(cfg)
+    # heat diffuses downward; rows are monotonically cooler
+    means = g[1:-1, 1:-1].mean(axis=1)
+    assert np.all(np.diff(means) <= 1e-9)
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+@pytest.mark.parametrize("nprocs", [1, 3, 4])
+def test_parallel_matches_reference(iface, nprocs):
+    cfg = JacobiConfig(n=32, iterations=3)
+    params = SimParams().replace(num_processors=nprocs)
+    stats, final = run_jacobi(params, iface, cfg)
+    assert np.allclose(final, sequential_reference(cfg))
+
+
+def test_more_procs_than_rows_still_correct():
+    cfg = JacobiConfig(n=8, iterations=2)  # 6 interior rows, 8 procs
+    params = SimParams().replace(num_processors=8)
+    stats, final = run_jacobi(params, "cni", cfg)
+    assert np.allclose(final, sequential_reference(cfg))
+
+
+def test_jacobi_speedup_with_processors():
+    cfg = JacobiConfig(n=64, iterations=3)
+    t1 = run_jacobi(SimParams().replace(num_processors=1), "cni", cfg)[0]
+    t4 = run_jacobi(SimParams().replace(num_processors=4), "cni", cfg)[0]
+    assert t4.elapsed_ns < t1.elapsed_ns
+
+
+def test_jacobi_cni_not_slower_than_standard():
+    cfg = JacobiConfig(n=64, iterations=3)
+    params = SimParams().replace(num_processors=4)
+    cni = run_jacobi(params, "cni", cfg)[0]
+    std = run_jacobi(params, "standard", cfg)[0]
+    assert cni.elapsed_ns <= std.elapsed_ns
+
+
+def test_jacobi_hit_ratio_grows_with_iterations():
+    params = SimParams().replace(num_processors=4)
+    short = run_jacobi(params, "cni", JacobiConfig(n=64, iterations=2))[0]
+    long = run_jacobi(params, "cni", JacobiConfig(n=64, iterations=8))[0]
+    assert long.network_cache_hit_ratio > short.network_cache_hit_ratio

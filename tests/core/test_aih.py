@@ -1,0 +1,82 @@
+"""Unit tests for the Application Interrupt Handler registry."""
+
+import pytest
+
+from repro.core import HandlerError, HandlerRegistry
+from repro.params import SimParams
+
+
+def make_registry(memory=1024):
+    return HandlerRegistry(SimParams(), memory_bytes=memory)
+
+
+def test_install_and_dispatch():
+    reg = make_registry()
+    calls = []
+    reg.install(1, lambda pkt: calls.append(pkt), code_size=100)
+    assert reg.installed(1)
+    fn = reg.dispatch(1)
+    fn("packet")
+    assert calls == ["packet"]
+    assert reg.dispatches == 1
+
+
+def test_swap_in_cost_is_dma_time():
+    reg = make_registry(memory=8192)
+    params = SimParams()
+    cost = reg.install(1, lambda p: None, code_size=4096)
+    assert cost == pytest.approx(params.dma_time_ns(4096))
+
+
+def test_duplicate_key_rejected():
+    reg = make_registry()
+    reg.install(1, lambda p: None, code_size=10)
+    with pytest.raises(HandlerError):
+        reg.install(1, lambda p: None, code_size=10)
+
+
+def test_memory_capacity_enforced():
+    reg = make_registry(memory=100)
+    reg.install(1, lambda p: None, code_size=60)
+    with pytest.raises(HandlerError):
+        reg.install(2, lambda p: None, code_size=50)
+    assert reg.used_bytes == 60
+
+
+def test_uninstall_frees_memory():
+    reg = make_registry(memory=100)
+    reg.install(1, lambda p: None, code_size=60)
+    reg.uninstall(1)
+    assert reg.used_bytes == 0
+    reg.install(2, lambda p: None, code_size=90)
+    with pytest.raises(HandlerError):
+        reg.uninstall(1)
+
+
+def test_dispatch_missing_handler():
+    reg = make_registry()
+    with pytest.raises(HandlerError):
+        reg.dispatch(42)
+
+
+def test_code_size_validation():
+    reg = make_registry()
+    with pytest.raises(ValueError):
+        reg.install(1, lambda p: None, code_size=0)
+
+
+def test_dispatch_time_positive():
+    reg = make_registry()
+    assert reg.dispatch_time_ns() > 0
+
+
+def test_handler_keys_sorted():
+    reg = make_registry()
+    reg.install(5, lambda p: None, 10)
+    reg.install(2, lambda p: None, 10)
+    assert reg.handler_keys() == [2, 5]
+
+
+def test_negative_memory_rejected():
+    with pytest.raises(ValueError):
+        HandlerRegistry(SimParams(), memory_bytes=-1)

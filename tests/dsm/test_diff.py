@@ -1,0 +1,102 @@
+"""Unit + property tests for modified-range tracking."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsm import RangeSet
+
+
+def test_empty():
+    rs = RangeSet()
+    assert not rs
+    assert rs.byte_count == 0
+    assert rs.range_count == 0
+
+
+def test_single_range():
+    rs = RangeSet()
+    rs.add(10, 5)
+    assert rs.byte_count == 5
+    assert list(rs) == [(10, 15)]
+    assert rs.contains(10) and rs.contains(14) and not rs.contains(15)
+
+
+def test_zero_length_ignored():
+    rs = RangeSet()
+    rs.add(10, 0)
+    rs.add(10, -5)
+    assert not rs
+
+
+def test_disjoint_ranges():
+    rs = RangeSet()
+    rs.add(0, 4)
+    rs.add(10, 4)
+    assert rs.byte_count == 8
+    assert rs.range_count == 2
+    assert list(rs) == [(0, 4), (10, 14)]
+
+
+def test_overlap_merges():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(5, 10)
+    assert list(rs) == [(0, 15)]
+
+
+def test_adjacent_merges():
+    rs = RangeSet()
+    rs.add(0, 5)
+    rs.add(5, 5)
+    assert list(rs) == [(0, 10)]
+    assert rs.range_count == 1
+
+
+def test_bridge_merges_three():
+    rs = RangeSet()
+    rs.add(0, 4)
+    rs.add(8, 4)
+    rs.add(3, 6)  # bridges both
+    assert list(rs) == [(0, 12)]
+
+
+def test_clamp():
+    rs = RangeSet()
+    rs.add(0, 100)
+    rs.add(200, 50)
+    rs.clamp(120)
+    assert list(rs) == [(0, 100)]
+    rs.clamp(50)
+    assert list(rs) == [(0, 50)]
+
+
+def test_copy_independent():
+    rs = RangeSet()
+    rs.add(0, 5)
+    c = rs.copy()
+    c.add(100, 5)
+    assert rs.byte_count == 5 and c.byte_count == 10
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(1, 50)),
+        min_size=1, max_size=40,
+    )
+)
+def test_matches_naive_set_semantics(ops):
+    """RangeSet equals the set-of-bytes union."""
+    rs = RangeSet()
+    naive = set()
+    for start, length in ops:
+        rs.add(start, length)
+        naive.update(range(start, start + length))
+    assert rs.byte_count == len(naive)
+    covered = set()
+    prev_end = -1
+    for s, e in rs:
+        assert s < e
+        assert s > prev_end, "ranges must be disjoint, sorted, non-adjacent"
+        prev_end = e
+        covered.update(range(s, e))
+    assert covered == naive

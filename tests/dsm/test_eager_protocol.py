@@ -1,0 +1,102 @@
+"""Tests for the eager-RC protocol variant."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import assert_healthy
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+
+def make_cluster(nprocs=4, iface="cni", proto="eager"):
+    params = SimParams().replace(
+        num_processors=nprocs, dsm_address_space_pages=64
+    )
+    return Cluster(params, interface=iface, protocol=proto)
+
+
+def neighbour_kernel(arr, base):
+    def kernel(ctx):
+        r = ctx.rank
+        for it in range(3):
+            yield from ctx.write_runs([(base + r * 4096, 4096)])
+            arr.data[r] = it * 10 + r
+            yield from ctx.barrier()
+            nb = (r + 1) % ctx.nprocs
+            yield from ctx.read_runs([(base + nb * 4096, 64)])
+            assert arr.data[nb, 0] == it * 10 + nb
+            yield from ctx.barrier()
+    return kernel
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        make_cluster(proto="psychic")
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+def test_eager_coherence(iface):
+    cluster = make_cluster(4, iface)
+    arr = cluster.alloc_shared((4, 512))
+    cluster.run(neighbour_kernel(arr, arr.base_vaddr))
+    assert_healthy(cluster)
+
+
+def test_eager_broadcasts_at_release():
+    cluster = make_cluster(4)
+    arr = cluster.alloc_shared((4, 512))
+    stats = cluster.run(neighbour_kernel(arr, arr.base_vaddr))
+    # every writing release broadcast to the other 3 nodes
+    assert stats.counters["dsm_eager_invalidations"] > 0
+    assert stats.counters["dsm_eager_invalidations"] % 3 == 0
+
+
+def test_eager_sends_more_messages_than_lazy():
+    def run(proto):
+        cluster = make_cluster(4, proto=proto)
+        arr = cluster.alloc_shared((4, 512))
+        return cluster.run(neighbour_kernel(arr, arr.base_vaddr))
+
+    lazy = run("lazy")
+    eager = run("eager")
+    assert eager.counters["nic_packets_sent"] > lazy.counters["nic_packets_sent"]
+    # and the extra traffic costs time (the paper's justification)
+    assert eager.elapsed_ns >= lazy.elapsed_ns
+
+
+def test_eager_lock_grants_carry_no_intervals():
+    cluster = make_cluster(2)
+    arr = cluster.alloc_shared((512,))
+    base = arr.base_vaddr
+    seen = {}
+
+    def kernel(ctx):
+        if ctx.rank == 0:
+            yield from ctx.acquire(3)
+            yield from ctx.write_runs([(base, 64)])
+            arr.data[0] = 9.0
+            yield from ctx.release(3)
+            yield from ctx.barrier()
+        else:
+            yield from ctx.barrier()
+            yield from ctx.acquire(3)
+            yield from ctx.read_runs([(base, 64)])
+            seen["v"] = float(arr.data[0])
+            yield from ctx.release(3)
+
+    cluster.run(kernel)
+    assert seen["v"] == 9.0  # invalidation arrived eagerly, fetch worked
+
+
+def test_eager_single_node_no_broadcast():
+    cluster = make_cluster(1)
+    arr = cluster.alloc_shared((512,))
+    base = arr.base_vaddr
+
+    def kernel(ctx):
+        yield from ctx.write_runs([(base, 64)])
+        arr.data[0] = 1.0
+        yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+    assert stats.counters["dsm_eager_invalidations"] == 0

@@ -1,0 +1,155 @@
+"""Unit tests for lock tables, barrier manager and home policy."""
+
+import pytest
+
+from repro.dsm import (
+    BarrierManager,
+    HomePolicy,
+    Interval,
+    LocalLockTable,
+    LockManagerTable,
+    WriteNotice,
+)
+
+
+def iv(proc, seq):
+    return Interval(proc=proc, seq=seq, notices=())
+
+
+# ---------------------------------------------------------------- lock tables --
+
+def test_manager_record_get_or_create():
+    t = LockManagerTable()
+    r1 = t.record(5)
+    r2 = t.record(5)
+    assert r1 is r2
+    assert r1.last_owner is None
+
+
+def test_local_state_defaults():
+    t = LocalLockTable()
+    st = t.state(3)
+    assert not st.held and st.released
+    assert not st.acquiring and not st.cached_ownership
+    assert st.pending_requester is None
+
+
+def test_held_locks():
+    t = LocalLockTable()
+    t.state(1).held = True
+    t.state(2)
+    t.state(7).held = True
+    assert t.held_locks() == [1, 7]
+
+
+# ------------------------------------------------------------------- barrier --
+
+def test_barrier_gathers_and_completes():
+    mgr = BarrierManager(3)
+    mgr.arrive(0, 0, [iv(0, 1)])
+    assert not mgr.is_complete(0)
+    mgr.arrive(0, 1, [])
+    mgr.arrive(0, 2, [iv(2, 1)])
+    assert mgr.is_complete(0)
+    ep = mgr.complete(0)
+    assert {(i.proc, i.seq) for i in ep.intervals} == {(0, 1), (2, 1)}
+    assert ep.episode == 1
+
+
+def test_barrier_double_arrival_rejected():
+    mgr = BarrierManager(2)
+    mgr.arrive(0, 0, [])
+    with pytest.raises(ValueError):
+        mgr.arrive(0, 0, [])
+
+
+def test_barrier_premature_complete_rejected():
+    mgr = BarrierManager(2)
+    mgr.arrive(0, 0, [])
+    with pytest.raises(RuntimeError):
+        mgr.complete(0)
+
+
+def test_barrier_episodes_increment():
+    mgr = BarrierManager(1)
+    mgr.arrive(0, 0, [])
+    assert mgr.complete(0).episode == 1
+    mgr.arrive(0, 0, [])
+    assert mgr.complete(0).episode == 2
+    assert mgr.crossings == 2
+
+
+def test_barrier_ids_independent():
+    mgr = BarrierManager(2)
+    mgr.arrive(0, 0, [])
+    mgr.arrive(1, 0, [])
+    mgr.arrive(1, 1, [])
+    assert mgr.is_complete(1) and not mgr.is_complete(0)
+
+
+def test_barrier_validation():
+    with pytest.raises(ValueError):
+        BarrierManager(0)
+
+
+# ---------------------------------------------------------------- home policy --
+
+def test_round_robin_homes():
+    h = HomePolicy(4)
+    assert [h.page_home(p) for p in range(6)] == [0, 1, 2, 3, 0, 1]
+    assert h.lock_home(5) == 1
+    assert h.barrier_manager == 0
+
+
+def test_node0_scheme():
+    h = HomePolicy(4, scheme="node0")
+    assert all(h.page_home(p) == 0 for p in range(10))
+    assert h.lock_home(7) == 0
+
+
+def test_block_scheme():
+    h = HomePolicy(4, scheme="block")
+    h.set_page_count(100)
+    assert h.page_home(0) == 0
+    assert h.page_home(99) == 3
+    homes = [h.page_home(p) for p in range(100)]
+    assert homes == sorted(homes)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        HomePolicy(0)
+    with pytest.raises(ValueError):
+        HomePolicy(4, scheme="bogus")
+    h = HomePolicy(4)
+    with pytest.raises(ValueError):
+        h.page_home(-1)
+    with pytest.raises(ValueError):
+        h.lock_home(-1)
+
+
+def test_block_scheme_respects_allocations():
+    h = HomePolicy(4, scheme="block")
+    h.set_page_count(1000)
+    # two allocations: pages [0,16) and [16,32)
+    h.set_allocations([(0, 16), (16, 16)])
+    # each allocation is divided among the 4 nodes independently
+    assert [h.page_home(p) for p in (0, 4, 8, 12)] == [0, 1, 2, 3]
+    assert [h.page_home(p) for p in (16, 20, 24, 28)] == [0, 1, 2, 3]
+    # a page outside any allocation falls back to the global split
+    assert h.page_home(999) == 3
+
+
+def test_block_scheme_without_allocations_uses_page_count():
+    h = HomePolicy(2, scheme="block")
+    h.set_page_count(10)
+    assert h.page_home(0) == 0
+    assert h.page_home(9) == 1
+
+
+def test_set_allocations_ignores_empty_extents():
+    h = HomePolicy(2, scheme="block")
+    h.set_allocations([(0, 0), (4, 4)])
+    h.set_page_count(100)
+    assert h.page_home(4) == 0
+    assert h.page_home(7) == 1

@@ -1,0 +1,290 @@
+"""Integration tests of the LRC engine through the full runtime stack.
+
+These run real multi-node clusters (CNI and standard) and check protocol
+semantics: coherence of observed values, invalidation laziness, lock
+mutual exclusion/ordering, barrier synchrony, diff vs full-page policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+
+def make_cluster(nprocs=4, iface="cni", **over):
+    params = SimParams().replace(
+        num_processors=nprocs, dsm_address_space_pages=64, **over
+    )
+    return Cluster(params, interface=iface)
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+def test_neighbour_exchange_sees_fresh_values(iface):
+    cluster = make_cluster(4, iface)
+    arr = cluster.alloc_shared((4, 512))
+    base = arr.base_vaddr
+    row = 512 * 8
+    seen = {}
+
+    def kernel(ctx):
+        r = ctx.rank
+        yield from ctx.write_runs([(base + r * row, row)])
+        arr.data[r, :] = 10 * (r + 1)
+        yield from ctx.barrier()
+        nb = (r + 1) % ctx.nprocs
+        yield from ctx.read_runs([(base + nb * row, row)])
+        seen[r] = float(arr.data[nb, 0])
+        yield from ctx.barrier()
+
+    cluster.run(kernel)
+    for r in range(4):
+        assert seen[r] == 10 * (((r + 1) % 4) + 1)
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+def test_lock_mutual_exclusion_and_atomicity(iface):
+    cluster = make_cluster(4, iface)
+    arr = cluster.alloc_shared((8,))
+    base = arr.base_vaddr
+    trace = []
+
+    def kernel(ctx):
+        for _ in range(3):
+            yield from ctx.acquire(0)
+            trace.append(("enter", ctx.rank, ctx.sim.now))
+            yield from ctx.read_runs([(base, 8)])
+            v = float(arr.data[0])
+            yield from ctx.compute(500)
+            yield from ctx.write_runs([(base, 8)])
+            arr.data[0] = v + 1
+            trace.append(("exit", ctx.rank, ctx.sim.now))
+            yield from ctx.release(0)
+        yield from ctx.barrier()
+
+    cluster.run(kernel)
+    assert arr.data[0] == 12  # 4 procs x 3 increments, no lost updates
+    # critical sections never overlap
+    events = sorted(trace, key=lambda e: e[2])
+    depth = 0
+    for kind, rank, t in events:
+        depth += 1 if kind == "enter" else -1
+        assert 0 <= depth <= 1
+
+
+def test_lock_grant_carries_notices_lazily():
+    """A third node that never synchronizes on the lock keeps reading
+    its stale copy (lazy invalidation), while the lock chain sees fresh
+    values."""
+    cluster = make_cluster(3, "cni")
+    arr = cluster.alloc_shared((512,))
+    base = arr.base_vaddr
+    observed = {}
+
+    def kernel(ctx):
+        r = ctx.rank
+        if r == 0:
+            yield from ctx.acquire(5)
+            yield from ctx.write_runs([(base, 8)])
+            arr.data[0] = 42.0
+            yield from ctx.release(5)
+            yield from ctx.barrier(1)
+        elif r == 1:
+            # reads BEFORE acquiring: no ordering with r0's write; then
+            # acquires and must see the write.
+            yield from ctx.read_runs([(base, 8)])
+            yield from ctx.acquire(5)
+            yield from ctx.read_runs([(base, 8)])
+            observed["r1_after_acquire"] = float(arr.data[0])
+            yield from ctx.release(5)
+            yield from ctx.barrier(1)
+        else:
+            # never touches the lock; no reason to see an invalidation
+            yield from ctx.read_runs([(base, 8)])
+            n_faults_before = ctx.node.counters  # cluster-global; skip
+            yield from ctx.read_runs([(base, 8)])
+            yield from ctx.barrier(1)
+
+    cluster.run(kernel)
+    assert observed["r1_after_acquire"] == 42.0
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+def test_barrier_synchrony(iface):
+    cluster = make_cluster(4, iface)
+    times = {}
+
+    def kernel(ctx):
+        yield from ctx.compute(1000 * (ctx.rank + 1))  # skewed arrivals
+        yield from ctx.barrier()
+        times[ctx.rank] = ctx.sim.now
+
+    cluster.run(kernel)
+    latest_departure = max(times.values())
+    earliest_departure = min(times.values())
+    # all depart after the slowest arrival (compute of rank 3)
+    slowest_arrival = 4000 * SimParams().cpu_cycle_ns
+    assert earliest_departure >= slowest_arrival
+
+
+def test_full_page_vs_diff_fetch_policy():
+    """Rewriting most of a page migrates it whole; touching a corner of
+    it moves diffs."""
+    # Case 1: full rewrite -> page fetch
+    c1 = make_cluster(2, "cni")
+    a1 = c1.alloc_shared((512,))
+    b1 = a1.base_vaddr
+
+    def whole(ctx):
+        if ctx.rank == 0:
+            yield from ctx.write_runs([(b1, 4096)])
+            a1.data[:] = 7.0
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            yield from ctx.read_runs([(b1, 4096)])
+        yield from ctx.barrier()
+
+    s1 = c1.run(whole)
+    # rank1 faults twice: cold (full fetch) happens at first access...
+    # here rank1 only reads after the barrier; the write notice makes it
+    # fetch the whole page.
+    assert s1.counters["dsm_diff_fetches"] == 0
+    assert s1.counters["dsm_page_fetches"] >= 1
+
+    # Case 2: small corner write after both have copies -> diff fetch
+    c2 = make_cluster(2, "cni")
+    a2 = c2.alloc_shared((512,))
+    b2 = a2.base_vaddr
+
+    def corner(ctx):
+        # both warm up a full copy first
+        yield from ctx.read_runs([(b2, 4096)])
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            yield from ctx.write_runs([(b2, 64)])
+            a2.data[:8] = 3.0
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            yield from ctx.read_runs([(b2, 64)])
+            assert a2.data[0] == 3.0
+        yield from ctx.barrier()
+
+    s2 = c2.run(corner)
+    assert s2.counters["dsm_diff_fetches"] >= 1
+
+
+def test_concurrent_writers_exchange_diffs_not_pages():
+    cluster = make_cluster(2, "cni")
+    arr = cluster.alloc_shared((512,))
+    base = arr.base_vaddr
+
+    def kernel(ctx):
+        r = ctx.rank
+        yield from ctx.read_runs([(base, 4096)])  # both get full copies
+        yield from ctx.barrier()
+        yield from ctx.write_runs([(base + r * 2048, 256)])
+        arr.data[r * 256:(r * 256) + 32] = r + 1.0
+        yield from ctx.barrier()
+        other = 1 - r
+        yield from ctx.read_runs([(base + other * 2048, 256)])
+        assert arr.data[other * 256] == other + 1.0
+        yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+    assert stats.counters["dsm_diff_fetches"] >= 2
+
+
+@pytest.mark.parametrize("iface", ["cni", "standard"])
+def test_page_migration_chain(iface):
+    """A page hopping 0 -> 1 -> 2 -> 3, each hop reading the previous
+    writer's value (exercises source chasing and receive caching)."""
+    cluster = make_cluster(4, iface)
+    arr = cluster.alloc_shared((512,))
+    base = arr.base_vaddr
+
+    def kernel(ctx):
+        r = ctx.rank
+        for step in range(4):
+            if step == r:
+                yield from ctx.write_runs([(base, 4096)])
+                arr.data[:] = r + 1.0
+            yield from ctx.barrier()
+        yield from ctx.read_runs([(base, 8)])
+        assert arr.data[0] == 4.0
+        yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+    assert stats.counters["dsm_pages_served"] >= 3
+
+
+def test_cni_beats_standard_on_identical_workload():
+    """The paper's headline invariant at this scale: same program, same
+    inputs, CNI finishes no later than the standard interface."""
+    results = {}
+    for iface in ("cni", "standard"):
+        cluster = make_cluster(4, iface)
+        arr = cluster.alloc_shared((4, 512))
+        base = arr.base_vaddr
+        row = 4096
+
+        def kernel(ctx, base=base, arr=arr):
+            r = ctx.rank
+            for _ in range(3):
+                yield from ctx.write_runs([(base + r * row, row)])
+                arr.data[r, :] += 1.0
+                yield from ctx.barrier()
+                nb = (r + 1) % ctx.nprocs
+                yield from ctx.read_runs([(base + nb * row, row)])
+                yield from ctx.barrier()
+
+        results[iface] = cluster.run(kernel).elapsed_ns
+    assert results["cni"] < results["standard"]
+
+
+def test_message_cache_hits_on_repeated_page_serves():
+    """Steady-state transmit caching: the same page served repeatedly by
+    the same node stops DMAing after the first send."""
+    cluster = make_cluster(2, "cni")
+    arr = cluster.alloc_shared((512,))
+    base = arr.base_vaddr
+
+    def kernel(ctx):
+        r = ctx.rank
+        for it in range(5):
+            if r == 0:
+                yield from ctx.write_runs([(base, 4096)])
+                arr.data[:] = it
+            yield from ctx.barrier()
+            if r == 1:
+                yield from ctx.read_runs([(base, 4096)])
+            yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+    # page 0 is written by node 0 every iteration; snooping keeps the
+    # board copy consistent, so serves after the first are MC hits.
+    assert stats.network_cache_hit_ratio > 0.5
+
+
+def test_snooping_ablation_degrades_hit_ratio():
+    def run(snoop: bool):
+        params = SimParams().replace(
+            num_processors=2, dsm_address_space_pages=64, snoop_enabled=snoop
+        )
+        cluster = Cluster(params, interface="cni")
+        arr = cluster.alloc_shared((512,))
+        base = arr.base_vaddr
+
+        def kernel(ctx):
+            r = ctx.rank
+            for it in range(5):
+                if r == 0:
+                    yield from ctx.write_runs([(base, 4096)])
+                    arr.data[:] = it
+                yield from ctx.barrier()
+                if r == 1:
+                    yield from ctx.read_runs([(base, 4096)])
+                yield from ctx.barrier()
+
+        return cluster.run(kernel).network_cache_hit_ratio
+
+    assert run(True) > run(False)

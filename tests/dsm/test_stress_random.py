@@ -1,0 +1,121 @@
+"""Randomized stress tests of the full DSM stack.
+
+Hypothesis drives random-but-well-synchronized SPMD programs through
+real clusters and checks global invariants: termination (no protocol
+deadlock), no lost updates, protocol-state hygiene, and bit-exact
+determinism of the simulation itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm import assert_healthy
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+BUCKETS = 4
+SLOTS = 64  # doubles per bucket
+
+
+def build(nprocs, iface):
+    params = SimParams().replace(
+        num_processors=nprocs, dsm_address_space_pages=32
+    )
+    cluster = Cluster(params, interface=iface)
+    arr = cluster.alloc_shared((BUCKETS, SLOTS))
+    return cluster, arr
+
+
+def run_program(nprocs, iface, script):
+    """script[round][rank] = list of (bucket, slot) increments."""
+    cluster, arr = build(nprocs, iface)
+    base = arr.base_vaddr
+
+    def kernel(ctx):
+        for rnd in script:
+            ops = rnd[ctx.rank]
+            for bucket, slot in ops:
+                yield from ctx.acquire(bucket)
+                off = (bucket * SLOTS + slot) * 8
+                yield from ctx.read_runs([(base + off, 8)])
+                v = arr.data[bucket, slot]
+                yield from ctx.write_runs([(base + off, 8)])
+                arr.data[bucket, slot] = v + 1
+                yield from ctx.release(bucket)
+            yield from ctx.barrier()
+
+    stats = cluster.run(kernel)
+    return cluster, arr, stats
+
+
+@st.composite
+def programs(draw):
+    nprocs = draw(st.sampled_from([2, 3, 4]))
+    n_rounds = draw(st.integers(1, 3))
+    script = []
+    for _ in range(n_rounds):
+        rnd = []
+        for _rank in range(nprocs):
+            n_ops = draw(st.integers(0, 4))
+            ops = [
+                (draw(st.integers(0, BUCKETS - 1)),
+                 draw(st.integers(0, SLOTS - 1)))
+                for _ in range(n_ops)
+            ]
+            rnd.append(ops)
+        script.append(rnd)
+    return nprocs, script
+
+
+@given(programs(), st.sampled_from(["cni", "standard"]))
+@settings(max_examples=25, deadline=None)
+def test_no_lost_updates_and_termination(prog, iface):
+    nprocs, script = prog
+    cluster, arr, stats = run_program(nprocs, iface, script)
+
+    expected = np.zeros((BUCKETS, SLOTS))
+    for rnd in script:
+        for ops in rnd:
+            for bucket, slot in ops:
+                expected[bucket, slot] += 1
+    assert np.array_equal(arr.data, expected)
+
+    # full protocol hygiene after the run (invariant checker)
+    assert_healthy(cluster)
+
+
+@given(programs())
+@settings(max_examples=10, deadline=None)
+def test_simulation_is_deterministic(prog):
+    nprocs, script = prog
+    a = run_program(nprocs, "cni", script)
+    b = run_program(nprocs, "cni", script)
+    assert a[2].elapsed_ns == b[2].elapsed_ns
+    assert a[2].counters.as_dict() == b[2].counters.as_dict()
+
+
+@given(programs())
+@settings(max_examples=8, deadline=None)
+def test_vc_consistency_after_run(prog):
+    """After the final barrier, everyone agrees on everyone's intervals."""
+    nprocs, script = prog
+    cluster, _, _ = run_program(nprocs, "cni", prog[1])
+    vcs = [node.engine.vc.as_list() for node in cluster.nodes]
+    # own components must be globally maximal knowledge
+    for proc in range(nprocs):
+        own = cluster.nodes[proc].engine.vc[proc]
+        for other in vcs:
+            assert other[proc] == own
+
+
+def test_interleaved_barrier_ids():
+    cluster, arr = build(3, "cni")
+
+    def kernel(ctx):
+        for _ in range(3):
+            yield from ctx.barrier(0)
+            yield from ctx.barrier(1)
+
+    cluster.run(kernel)  # completes without mixing episodes

@@ -1,0 +1,92 @@
+"""Unit + property tests for vector clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsm import VectorClock
+
+
+def test_construction():
+    vc = VectorClock(4)
+    assert vc.nprocs == 4
+    assert vc.as_list() == [0, 0, 0, 0]
+    assert VectorClock(values=[1, 2]).as_list() == [1, 2]
+    with pytest.raises(ValueError):
+        VectorClock(0)
+
+
+def test_tick():
+    vc = VectorClock(3)
+    assert vc.tick(1) == 1
+    assert vc.tick(1) == 2
+    assert vc[1] == 2 and vc[0] == 0
+
+
+def test_merge_is_componentwise_max():
+    a = VectorClock(values=[3, 0, 5])
+    b = VectorClock(values=[1, 4, 5])
+    a.merge(b)
+    assert a.as_list() == [3, 4, 5]
+
+
+def test_dominates_and_concurrent():
+    a = VectorClock(values=[2, 2])
+    b = VectorClock(values=[1, 2])
+    c = VectorClock(values=[3, 0])
+    assert a.dominates(b) and not b.dominates(a)
+    assert a.concurrent_with(c)
+    assert a.dominates(a.copy())
+
+
+def test_covers():
+    vc = VectorClock(values=[0, 3])
+    assert vc.covers(1, 3)
+    assert vc.covers(1, 1)
+    assert not vc.covers(1, 4)
+    assert not vc.covers(0, 1)
+
+
+def test_width_mismatch():
+    with pytest.raises(ValueError):
+        VectorClock(2).merge(VectorClock(3))
+
+
+def test_eq_and_copy_independence():
+    a = VectorClock(values=[1, 2])
+    b = a.copy()
+    assert a == b
+    b.tick(0)
+    assert a != b
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(VectorClock(2))
+
+
+def test_wire_bytes():
+    assert VectorClock(8).wire_bytes == 64
+
+
+vecs = st.lists(st.integers(0, 50), min_size=3, max_size=3)
+
+
+@given(a=vecs, b=vecs, c=vecs)
+def test_merge_is_lub_property(a, b, c):
+    """merge(a,b) is the least upper bound: dominates both, and any
+    common dominator dominates it."""
+    va, vb = VectorClock(values=a), VectorClock(values=b)
+    m = va.copy()
+    m.merge(vb)
+    assert m.dominates(va) and m.dominates(vb)
+    vc = VectorClock(values=c)
+    if vc.dominates(va) and vc.dominates(vb):
+        assert vc.dominates(m)
+
+
+@given(a=vecs, b=vecs)
+def test_partial_order_antisymmetry(a, b):
+    va, vb = VectorClock(values=a), VectorClock(values=b)
+    if va.dominates(vb) and vb.dominates(va):
+        assert va == vb

@@ -1,0 +1,85 @@
+"""Unit tests for the pending-event set."""
+
+import pytest
+
+from repro.engine import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(5.0, lambda: fired.append("b"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(9.0, lambda: fired.append("c"))
+    while q:
+        _, cb = q.pop()
+        cb()
+    assert fired == ["a", "b", "c"]
+
+
+def test_stable_order_for_simultaneous_events():
+    q = EventQueue()
+    fired = []
+    for i in range(10):
+        q.push(3.0, lambda i=i: fired.append(i))
+    while q:
+        q.pop()[1]()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    q = EventQueue()
+    fired = []
+    q.push(1.0, lambda: fired.append("later"), priority=1)
+    q.push(1.0, lambda: fired.append("first"), priority=0)
+    while q:
+        q.pop()[1]()
+    assert fired == ["first", "later"]
+
+
+def test_cancelled_events_do_not_fire():
+    q = EventQueue()
+    fired = []
+    h = q.push(1.0, lambda: fired.append("cancelled"))
+    q.push(2.0, lambda: fired.append("kept"))
+    h.cancel()
+    while q:
+        q.pop()[1]()
+    assert fired == ["kept"]
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.push(4.0, lambda: None)
+    h.cancel()
+    assert q.peek_time() == 4.0
+
+
+def test_empty_queue_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+    with pytest.raises(IndexError):
+        q.peek_time()
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_len_and_bool():
+    q = EventQueue()
+    assert not q
+    q.push(1.0, lambda: None)
+    assert q and len(q) == 1
+
+
+def test_cancel_idempotent():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert h.cancelled

@@ -1,0 +1,89 @@
+"""Unit tests for time accounting and counters."""
+
+import pytest
+
+from repro.engine import Category, Counters, RunStats, TimeAccount
+
+
+def test_time_account_accumulates():
+    acc = TimeAccount()
+    acc.add(Category.COMPUTATION, 100.0)
+    acc.add(Category.COMPUTATION, 50.0)
+    acc.add(Category.SYNCH_DELAY, 25.0)
+    assert acc.ns[Category.COMPUTATION] == 150.0
+    assert acc.total_ns == 175.0
+
+
+def test_time_account_rejects_negative():
+    acc = TimeAccount()
+    with pytest.raises(ValueError):
+        acc.add(Category.SYNCH_OVERHEAD, -1.0)
+
+
+def test_cycles_conversion():
+    acc = TimeAccount()
+    acc.add(Category.COMPUTATION, 1e9)  # one second
+    assert acc.cycles(Category.COMPUTATION, 166e6) == pytest.approx(166e6)
+
+
+def test_merge():
+    a, b = TimeAccount(), TimeAccount()
+    a.add(Category.SYNCH_DELAY, 10)
+    b.add(Category.SYNCH_DELAY, 5)
+    b.add(Category.COMPUTATION, 1)
+    a.merge(b)
+    assert a.ns[Category.SYNCH_DELAY] == 15
+    assert a.ns[Category.COMPUTATION] == 1
+
+
+def test_as_dict_keys():
+    assert set(TimeAccount().as_dict()) == {
+        "computation",
+        "synch_overhead",
+        "synch_delay",
+    }
+
+
+def test_counters_basic():
+    c = Counters()
+    c.inc("sends")
+    c.inc("sends", 4)
+    assert c["sends"] == 5
+    assert c["never"] == 0
+    assert c.get("never", 7) == 7
+    assert c.as_dict() == {"sends": 5}
+
+
+def test_counters_ratio():
+    c = Counters()
+    assert c.ratio("hits", "total") == 0.0
+    c.inc("total", 4)
+    c.inc("hits", 3)
+    assert c.ratio("hits", "total") == 0.75
+
+
+def test_run_stats_hit_ratio_and_table():
+    rs = RunStats()
+    rs.counters.inc("mc_transmit_lookups", 10)
+    rs.counters.inc("mc_transmit_hits", 9)
+    assert rs.network_cache_hit_ratio == 0.9
+
+    acc = TimeAccount()
+    acc.add(Category.COMPUTATION, 1e9)
+    acc.add(Category.SYNCH_OVERHEAD, 0.5e9)
+    acc.add(Category.SYNCH_DELAY, 0.25e9)
+    rs.per_processor.append(acc)
+    table = rs.overhead_table(100e6)
+    assert table["computation"] == pytest.approx(1e8)
+    assert table["synch_overhead"] == pytest.approx(0.5e8)
+    assert table["synch_delay"] == pytest.approx(0.25e8)
+    assert table["total"] == pytest.approx(1.75e8)
+
+
+def test_run_stats_category_total_over_processors():
+    rs = RunStats()
+    for _ in range(3):
+        acc = TimeAccount()
+        acc.add(Category.SYNCH_DELAY, 10.0)
+        rs.per_processor.append(acc)
+    assert rs.category_total_ns(Category.SYNCH_DELAY) == 30.0

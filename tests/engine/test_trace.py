@@ -1,0 +1,52 @@
+"""Unit tests for the tracer."""
+
+import pytest
+
+from repro.engine import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.emit(1.0, "x", "kind")
+    assert len(t) == 0
+
+
+def test_enabled_tracer_records():
+    t = Tracer(enabled=True)
+    t.emit(1.0, "nic0", "send", {"bytes": 4096})
+    t.emit(2.0, "nic1", "recv")
+    assert len(t) == 2
+    assert t.records()[0].detail == {"bytes": 4096}
+
+
+def test_filtering():
+    t = Tracer(enabled=True)
+    t.emit(1.0, "a", "send")
+    t.emit(2.0, "b", "send")
+    t.emit(3.0, "a", "recv")
+    assert len(t.records(kind="send")) == 2
+    assert len(t.records(source="a")) == 2
+    assert len(t.records(kind="recv", source="a")) == 1
+
+
+def test_ring_bounds_and_drop_count():
+    t = Tracer(capacity=3, enabled=True)
+    for i in range(5):
+        t.emit(float(i), "s", "k", i)
+    assert len(t) == 3
+    assert t.dropped == 2
+    assert [r.detail for r in t.records()] == [2, 3, 4]
+
+
+def test_clear():
+    t = Tracer(capacity=2, enabled=True)
+    t.emit(0.0, "s", "k")
+    t.emit(0.0, "s", "k")
+    t.emit(0.0, "s", "k")
+    t.clear()
+    assert len(t) == 0 and t.dropped == 0
+
+
+def test_bad_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)

@@ -1,0 +1,130 @@
+"""Tests for the paper-vs-measured comparison tooling."""
+
+import pytest
+
+from repro.harness.compare import (
+    figure_verdict,
+    parse_results_file,
+    render_experiments_md,
+    table_verdict,
+)
+from repro.harness.paper import (
+    FIGURE_CLAIMS,
+    PAPER_OVERHEAD_TABLES,
+    PAPER_TABLE5,
+    claim_for,
+)
+from repro.harness.report import format_series, format_table
+from repro.harness.results import SeriesResult, TableResult
+
+SAMPLE = """\
+== fig2-jacobi-small ==
+  processors  cni_speedup network_cache_hit_ratio standard_speedup
+           1            1                       0                1
+           2          1.5                      90              1.2
+           8          2.5                      95              2.0
+
+== table2-jacobi-overhead ==
+row               time_cni_cycles time_standard_cycles
+synch_overhead        1.2e+06          2.1e+06
+synch_delay           3.7e+06           4.6e+06
+computation           3.6e+06          3.6e+06
+total                 8.5e+06          10.3e+06
+"""
+
+
+def test_parse_roundtrip(tmp_path):
+    p = tmp_path / "results.txt"
+    p.write_text(SAMPLE)
+    parsed = parse_results_file(str(p))
+    assert set(parsed) == {"fig2", "table2"}
+    fig2 = parsed["fig2"]
+    assert fig2.xs == [1.0, 2.0, 8.0]
+    assert fig2.get("cni_speedup") == [1.0, 1.5, 2.5]
+    t2 = parsed["table2"]
+    assert t2.cell("total", "time_cni_cycles") == 8.5e6
+
+
+def test_parse_formatted_output_roundtrip(tmp_path):
+    r = SeriesResult(name="fig14-x", x_label="message_bytes",
+                     xs=[0.0, 4096.0])
+    r.series["cni_latency_us"] = [10.0, 100.0]
+    r.series["standard_latency_us"] = [20.0, 150.0]
+    p = tmp_path / "out.txt"
+    p.write_text(format_series(r) + "\n\n")
+    parsed = parse_results_file(str(p))
+    assert parsed["fig14"].get("cni_latency_us") == [10.0, 100.0]
+
+
+def test_figure_verdict_speedup_holds():
+    r = SeriesResult(name="fig2", x_label="processors", xs=[1, 2, 8])
+    r.series["cni_speedup"] = [1.0, 1.5, 2.5]
+    r.series["standard_speedup"] = [1.0, 1.2, 2.0]
+    r.series["network_cache_hit_ratio"] = [0, 90, 95]
+    verdict, ev = figure_verdict("fig2", r)
+    assert verdict == "holds"
+    assert "2.50x" in ev
+
+
+def test_figure_verdict_diverges_when_standard_wins():
+    r = SeriesResult(name="fig2", x_label="processors", xs=[1, 8])
+    r.series["cni_speedup"] = [1.0, 1.5]
+    r.series["standard_speedup"] = [1.0, 2.5]
+    verdict, _ = figure_verdict("fig2", r)
+    assert verdict == "DIVERGES"
+
+
+def test_fig14_verdict_window():
+    r = SeriesResult(name="fig14", x_label="message_bytes", xs=[0, 4096])
+    r.series["cni_latency_us"] = [10.0, 140.0]
+    r.series["standard_latency_us"] = [20.0, 200.0]
+    verdict, ev = figure_verdict("fig14", r)
+    assert verdict == "holds"
+    assert "30%" in ev
+
+
+def test_table_verdict_overheads():
+    t = TableResult(name="table3", columns=["time_cni_cycles",
+                                            "time_standard_cycles"])
+    t.add_row("synch_overhead", [1.0, 2.0])
+    t.add_row("synch_delay", [3.0, 4.0])
+    t.add_row("computation", [5.0, 5.0])
+    t.add_row("total", [9.0, 11.0])
+    verdict, ev = table_verdict("table3", t)
+    assert verdict == "holds"
+    assert "paper" in ev
+
+
+def test_table5_verdict():
+    t = TableResult(name="table5", columns=["pct_improvement"])
+    for app in PAPER_TABLE5:
+        t.add_row(app, [7.0])
+    verdict, ev = table_verdict("table5", t)
+    assert verdict == "holds"
+    assert "jacobi" in ev
+
+
+def test_render_mentions_every_experiment(tmp_path):
+    p = tmp_path / "results.txt"
+    p.write_text(SAMPLE)
+    doc = render_experiments_md(parse_results_file(str(p)))
+    for c in FIGURE_CLAIMS:
+        assert f"## {c.exp_id}" in doc
+    for t in ("table2", "table3", "table4", "table5"):
+        assert f"## {t}" in doc
+    assert "(not measured)" in doc  # paper column absent
+
+
+def test_claims_cover_all_figures():
+    ids = {c.exp_id for c in FIGURE_CLAIMS}
+    assert ids == {f"fig{i}" for i in range(2, 15)}
+    assert claim_for("fig2") is not None
+    assert claim_for("table2") is None
+
+
+def test_paper_tables_are_self_consistent():
+    for name, table in PAPER_OVERHEAD_TABLES.items():
+        for col in ("cni", "standard"):
+            parts = sum(table[row][col] for row in
+                        ("synch_overhead", "synch_delay", "computation"))
+            assert parts == pytest.approx(table["total"][col], rel=0.02), name

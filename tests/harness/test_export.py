@@ -1,0 +1,66 @@
+"""Tests for CSV/JSON export."""
+
+import json
+
+import pytest
+
+from repro.harness import SeriesResult, TableResult, to_csv, to_json, write_result
+
+
+def series():
+    r = SeriesResult(name="s", x_label="x", xs=[1.0, 2.0])
+    r.add_point("a", 10.0)
+    r.add_point("a", 20.0)
+    return r
+
+
+def table():
+    t = TableResult(name="t", columns=["c1", "c2"])
+    t.add_row("r", [1.5, 2.5])
+    return t
+
+
+def test_series_csv():
+    text = to_csv(series())
+    lines = text.strip().splitlines()
+    assert lines[0] == "x,a"
+    assert lines[1] == "1.0,10.0"
+    assert lines[2] == "2.0,20.0"
+
+
+def test_table_csv():
+    text = to_csv(table())
+    lines = text.strip().splitlines()
+    assert lines[0] == "row,c1,c2"
+    assert lines[1] == "r,1.5,2.5"
+
+
+def test_series_json_roundtrip():
+    doc = json.loads(to_json(series()))
+    assert doc["kind"] == "series"
+    assert doc["xs"] == [1.0, 2.0]
+    assert doc["series"]["a"] == [10.0, 20.0]
+
+
+def test_table_json_roundtrip():
+    doc = json.loads(to_json(table()))
+    assert doc["kind"] == "table"
+    assert doc["rows"]["r"] == [1.5, 2.5]
+
+
+def test_write_result_by_suffix(tmp_path):
+    p_csv = tmp_path / "out.csv"
+    p_json = tmp_path / "out.json"
+    write_result(series(), str(p_csv))
+    write_result(table(), str(p_json))
+    assert p_csv.read_text().startswith("x,a")
+    assert json.loads(p_json.read_text())["kind"] == "table"
+    with pytest.raises(ValueError):
+        write_result(series(), str(tmp_path / "out.txt"))
+
+
+def test_export_type_errors():
+    with pytest.raises(TypeError):
+        to_csv("not a result")
+    with pytest.raises(TypeError):
+        to_json(42)

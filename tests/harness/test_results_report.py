@@ -1,0 +1,69 @@
+"""Unit tests for harness result containers and reporting."""
+
+import pytest
+
+from repro.harness import SeriesResult, TableResult, ascii_plot, format_series, format_table
+
+
+def series():
+    r = SeriesResult(name="demo", x_label="x", xs=[1.0, 2.0, 4.0])
+    for v in (1.0, 2.0, 3.0):
+        r.add_point("up", v)
+    for v in (9.0, 8.0, 7.0):
+        r.add_point("down", v)
+    return r
+
+
+def test_series_add_and_get():
+    r = series()
+    assert r.get("up") == [1.0, 2.0, 3.0]
+    r.validate()
+
+
+def test_series_validate_catches_misalignment():
+    r = series()
+    r.add_point("up", 99.0)
+    with pytest.raises(ValueError):
+        r.validate()
+
+
+def test_series_get_missing():
+    with pytest.raises(KeyError):
+        series().get("nope")
+
+
+def test_table_rows_and_cells():
+    t = TableResult(name="t", columns=["a", "b"])
+    t.add_row("r1", [1.0, 2.0])
+    assert t.cell("r1", "b") == 2.0
+    with pytest.raises(ValueError):
+        t.add_row("bad", [1.0])
+    with pytest.raises(KeyError):
+        t.cell("nope", "a")
+
+
+def test_format_series_contains_data():
+    text = format_series(series())
+    assert "demo" in text
+    assert "up" in text and "down" in text
+    assert len(text.splitlines()) == 5  # header line + title + 3 rows
+
+
+def test_format_table_contains_rows():
+    t = TableResult(name="t", columns=["a"])
+    t.add_row("alpha", [3.14])
+    text = format_table(t)
+    assert "alpha" in text and "3.14" in text
+
+
+def test_notes_rendered():
+    r = series()
+    r.notes = "important caveat"
+    assert "important caveat" in format_series(r)
+
+
+def test_ascii_plot_shape():
+    text = ascii_plot(series(), "up", height=5, width=20)
+    lines = text.splitlines()
+    assert len(lines) == 6
+    assert any("*" in line for line in lines[1:])

@@ -1,0 +1,59 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.apps import JacobiConfig
+from repro.harness import sweep_param
+
+
+def tiny_workload():
+    return JacobiConfig(n=32, iterations=2)
+
+
+def test_sweep_basic_shape():
+    r = sweep_param(
+        "jacobi", tiny_workload(), "ni_freq_hz", [33e6, 66e6],
+        nprocs=2,
+    )
+    assert r.xs == [33e6, 66e6]
+    assert set(r.series) == {"cni_elapsed_ms", "standard_elapsed_ms"}
+    for ys in r.series.values():
+        assert all(v > 0 for v in ys)
+
+
+def test_sweep_single_interface():
+    r = sweep_param(
+        "jacobi", tiny_workload(), "interrupt_latency_ns",
+        [5000.0, 20000.0], nprocs=2, interfaces=("standard",),
+    )
+    assert list(r.series) == ["standard_elapsed_ms"]
+    # a slower interrupt makes the interrupt-driven interface slower
+    ys = r.get("standard_elapsed_ms")
+    assert ys[1] > ys[0]
+
+
+def test_sweep_speedup_metric_normalizes():
+    r = sweep_param(
+        "jacobi", tiny_workload(), "ni_freq_hz", [33e6, 66e6],
+        nprocs=2, metric="speedup_vs_first", interfaces=("cni",),
+    )
+    assert r.get("cni_speedup_vs_first")[0] == pytest.approx(1.0)
+
+
+def test_sweep_hit_ratio_metric():
+    r = sweep_param(
+        "jacobi", tiny_workload(), "message_cache_bytes",
+        [8192, 65536], nprocs=2, metric="hit_ratio_pct",
+        interfaces=("cni",),
+    )
+    ys = r.get("cni_hit_ratio_pct")
+    assert 0 <= ys[0] <= 100
+    assert ys[1] >= ys[0] - 3.0
+
+
+def test_sweep_validates_inputs():
+    with pytest.raises(AttributeError):
+        sweep_param("jacobi", tiny_workload(), "warp_factor", [1])
+    with pytest.raises(ValueError):
+        sweep_param("jacobi", tiny_workload(), "ni_freq_hz", [33e6],
+                    metric="vibes")

@@ -1,0 +1,98 @@
+"""Unit tests for the Network fabric."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.network import CellTrain, Network, Packet, PacketKind, Segmenter
+from repro.params import SimParams
+
+
+def make_net(nprocs=4, **over):
+    sim = Simulator()
+    params = SimParams().replace(num_processors=nprocs, **over)
+    return sim, params, Network(sim, params)
+
+
+def packet(src, dst, size=100):
+    return Packet(
+        kind=PacketKind.DATA, src_node=src, dst_node=dst, channel_id=1,
+        payload_bytes=size,
+    )
+
+
+def test_too_many_nodes_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, SimParams().replace(num_processors=33))
+
+
+def test_delivery_to_rx_queue():
+    sim, params, net = make_net()
+    p = packet(0, 1)
+    seg = Segmenter(params)
+    net.send_train(seg.make_train(p))
+    sim.run()
+    ok, train = net.rx_queues[1].try_get()
+    assert ok and train.packet is p
+    assert net.trains_delivered == 1
+
+
+def test_delivery_latency_matches_min_transit():
+    sim, params, net = make_net()
+    p = packet(0, 1, size=4096)
+    seg = Segmenter(params)
+    got = []
+
+    def receiver():
+        train = yield from net.rx_queues[1].get()
+        got.append((train, sim.now))
+
+    sim.spawn(receiver(), "rx")
+    net.send_train(seg.make_train(p))
+    sim.run()
+    (train, t), = got
+    assert t == pytest.approx(net.min_transit_ns(p.wire_bytes))
+
+
+def test_min_transit_components():
+    sim, params, net = make_net()
+    expected = 2 * 150.0 + 500.0 + params.train_wire_time_ns(116)
+    assert net.min_transit_ns(116) == pytest.approx(expected)
+
+
+def test_loopback_rejected():
+    sim, params, net = make_net()
+    seg = Segmenter(params)
+
+    def proc():
+        yield from net.transfer_and_wait(seg.make_train(packet(2, 2)))
+
+    with pytest.raises(ValueError):
+        sim.run_process(proc())
+
+
+def test_loss_injection():
+    sim, params, net = make_net()
+    seg = Segmenter(params)
+    net.loss_injector = lambda train: 1  # drop one cell of every train
+    net.send_train(seg.make_train(packet(0, 1, size=4096)))
+    sim.run()
+    ok, train = net.rx_queues[1].try_get()
+    assert ok and not train.intact
+    assert train.lost_cells == 1
+
+
+def test_concurrent_transfers_to_distinct_nodes():
+    sim, params, net = make_net()
+    seg = Segmenter(params)
+    net.send_train(seg.make_train(packet(0, 1)))
+    net.send_train(seg.make_train(packet(2, 3)))
+    sim.run()
+    assert net.rx_queues[1].try_get()[0]
+    assert net.rx_queues[3].try_get()[0]
+
+
+def test_unrestricted_page_transfer_is_faster():
+    _, base_params, base_net = make_net()
+    _, unres_params, unres_net = make_net(unrestricted_cell_size=True)
+    assert unres_net.min_transit_ns(4096 + 16) < base_net.min_transit_ns(4096 + 16)

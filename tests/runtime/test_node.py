@@ -1,0 +1,125 @@
+"""Unit tests for Node accounting and memory operations."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Category
+from repro.params import SimParams
+from repro.runtime import Cluster
+
+
+def one_node_cluster(iface="cni"):
+    params = SimParams().replace(num_processors=1, dsm_address_space_pages=16)
+    return Cluster(params, interface=iface)
+
+
+def test_interface_validation():
+    from repro.engine import Simulator, Counters
+    from repro.network import Network
+    from repro.runtime import Node
+
+    sim = Simulator()
+    params = SimParams().replace(num_processors=1)
+    net = Network(sim, params)
+    with pytest.raises(ValueError):
+        Node(sim, params, 0, net, Counters(), interface="bogus")
+
+
+def test_accounting_categories():
+    cluster = one_node_cluster()
+    node = cluster.nodes[0]
+    node.account_compute(100.0)
+    node.account_overhead(50.0)
+    node.account_delay(25.0)
+    assert node.account.ns[Category.COMPUTATION] == 100.0
+    assert node.account.ns[Category.SYNCH_OVERHEAD] == 50.0
+    assert node.account.ns[Category.SYNCH_DELAY] == 25.0
+
+
+def test_steal_accumulates_and_drains():
+    cluster = one_node_cluster()
+    node = cluster.nodes[0]
+    node.steal_host_time(10.0, Category.SYNCH_OVERHEAD)
+    node.steal_host_time(5.0, Category.SYNCH_OVERHEAD)
+    assert node.account.ns[Category.SYNCH_OVERHEAD] == 15.0
+    assert node.take_stolen_ns() == 15.0
+    assert node.take_stolen_ns() == 0.0
+
+
+def test_stolen_time_inflates_compute():
+    cluster = one_node_cluster()
+    node = cluster.nodes[0]
+
+    def kernel(ctx):
+        node.steal_host_time(1000.0, Category.SYNCH_OVERHEAD)
+        t0 = ctx.sim.now
+        yield from ctx.compute(166)  # 1000 ns of work at 166 MHz
+        assert ctx.sim.now - t0 == pytest.approx(2000.0, rel=1e-6)
+
+    cluster.run(kernel)
+    # but only the real computation is accounted as computation
+    assert node.account.ns[Category.COMPUTATION] == pytest.approx(1000.0, rel=1e-6)
+
+
+def test_flush_page_writes_back_and_snoops():
+    cluster = one_node_cluster()
+    node = cluster.nodes[0]
+    arr = cluster.alloc_shared((512,))
+    seen = []
+    node.bus.add_snooper(lambda nid, lines: seen.append(lines.size))
+
+    def kernel(ctx):
+        yield from ctx.write_runs([(arr.base_vaddr, 4096)])
+        yield from node.flush_page(0)
+        # second flush: nothing dirty
+        t0 = ctx.sim.now
+        yield from node.flush_page(0)
+        assert ctx.sim.now == t0
+
+    cluster.run(kernel)
+    assert sum(seen) >= 128  # all 128 lines of the page reached the bus
+
+
+def test_private_buffer_allocation_registers_mappings():
+    cluster = one_node_cluster()
+    node = cluster.nodes[0]
+    vaddr = node.alloc_private_buffer(8192)
+    assert vaddr % node.params.page_size_bytes == 0
+    vpage = vaddr // node.params.page_size_bytes
+    assert vpage in node.tlb
+    assert (vpage + 1) in node.tlb  # 8 KB = two pages
+    other = node.alloc_private_buffer(100)
+    assert other != vaddr
+
+
+def test_drop_page_from_caches_clears_mc():
+    cluster = one_node_cluster("cni")
+    node = cluster.nodes[0]
+    cluster.alloc_shared((512,))
+    cluster.finalize_memory()
+    mc = node.nic.message_cache
+    vpage = node.params.page_size_bytes and (
+        cluster.segment.page_vaddr(0) // node.params.page_size_bytes
+    )
+    mc.insert(vpage)
+    assert mc.contains(vpage)
+    node.drop_page_from_caches(0)
+    assert not mc.contains(vpage)
+
+
+def test_mc_receive_insert_respects_ablation():
+    params = SimParams().replace(
+        num_processors=1, dsm_address_space_pages=16, receive_caching=False
+    )
+    cluster = Cluster(params, interface="cni")
+    node = cluster.nodes[0]
+    cluster.alloc_shared((512,))
+    node.mc_receive_insert(0)
+    assert node.nic.message_cache.occupancy == 0
+
+
+def test_standard_node_has_no_message_cache():
+    cluster = one_node_cluster("standard")
+    node = cluster.nodes[0]
+    assert not hasattr(node.nic, "message_cache")
+    node.mc_invalidate(0)  # harmless no-op

@@ -1,0 +1,28 @@
+"""The examples are part of the public surface: they must keep running.
+
+Each example's ``main()`` is executed via runpy; assertions inside the
+examples (result correctness, invariant checks) do the verifying.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    path = Path(__file__).parent.parent / "examples" / name
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example narrates what it showed

@@ -1,0 +1,56 @@
+"""Public-API hygiene: __all__ entries resolve, key surfaces exist."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.engine",
+    "repro.memory",
+    "repro.network",
+    "repro.core",
+    "repro.dsm",
+    "repro.runtime",
+    "repro.apps",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), f"{name} has no __all__"
+    for entry in mod.__all__:
+        assert hasattr(mod, entry), f"{name}.{entry} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+
+def test_top_level_convenience_surface():
+    import repro
+
+    params = repro.SimParams().replace(num_processors=2)
+    cluster = repro.Cluster(params, interface="cni")
+    assert len(cluster.nodes) == 2
+    assert repro.__version__
+
+
+def test_paper_params_are_default():
+    from repro import PAPER_PARAMS, SimParams
+
+    assert PAPER_PARAMS == SimParams()
+
+
+def test_apps_expose_run_helpers():
+    from repro.apps import run_cholesky, run_jacobi, run_water  # noqa: F401
+
+
+def test_harness_exposes_every_experiment():
+    from repro.harness import EXPERIMENTS
+
+    assert len(EXPERIMENTS) == 18  # 13 figures + 5 tables

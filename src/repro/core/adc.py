@@ -78,6 +78,8 @@ class DualPortedRing:
         self.doorbell = Gate(sim, f"{name}-doorbell")
         self.enqueues = 0
         self.full_rejections = 0
+        #: Deepest the ring has ever been (ADC occupancy high-water mark).
+        self.depth_hwm = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -94,6 +96,8 @@ class DualPortedRing:
             raise ChannelError(f"ring {self.name} full")
         self._items.append(item)
         self.enqueues += 1
+        if len(self._items) > self.depth_hwm:
+            self.depth_hwm = len(self._items)
         self.doorbell.notify(item)
 
     def try_push(self, item: Any) -> bool:
@@ -103,6 +107,8 @@ class DualPortedRing:
             return False
         self._items.append(item)
         self.enqueues += 1
+        if len(self._items) > self.depth_hwm:
+            self.depth_hwm = len(self._items)
         self.doorbell.notify(item)
         return True
 
@@ -136,6 +142,8 @@ class DeviceChannel:
         #: Buffer ranges the kernel verified at post time: (base, length).
         self._verified: List[Tuple[int, int]] = []
         self.protection_faults = 0
+        #: Receive descriptors the application picked up by polling.
+        self.poll_receives = 0
 
     # -- protection -------------------------------------------------------------
     def grant_buffer(self, base: int, length: int) -> None:
@@ -172,7 +180,10 @@ class DeviceChannel:
 
     def poll_receive(self) -> Optional[ReceiveDescriptor]:
         """Application polls its receive queue (CNI hybrid scheme)."""
-        return self.receive.pop()
+        desc = self.receive.pop()
+        if desc is not None:
+            self.poll_receives += 1
+        return desc
 
 
 class ChannelManager:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from ..obs import MetricsScope, private_scope
 from ..params import SimParams
 
 #: A handler receives (packet, nic) and returns an optional generator of
@@ -47,7 +48,8 @@ class HandlerRegistry:
     parallel application owns the handler region).
     """
 
-    def __init__(self, params: SimParams, memory_bytes: int = 256 * 1024):
+    def __init__(self, params: SimParams, memory_bytes: int = 256 * 1024,
+                 metrics: Optional[MetricsScope] = None):
         if memory_bytes < 0:
             raise ValueError("negative handler memory")
         self.params = params
@@ -55,6 +57,10 @@ class HandlerRegistry:
         self._segments: Dict[int, _Segment] = {}
         self.dispatches = 0
         self.swap_ins = 0
+        m = metrics if metrics is not None else private_scope()
+        m.counter("dispatches", fn=lambda: self.dispatches)
+        m.counter("swap_ins", fn=lambda: self.swap_ins)
+        m.gauge("handler_bytes_used", fn=lambda: self.used_bytes)
 
     # -- installation -----------------------------------------------------------
     @property

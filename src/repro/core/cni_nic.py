@@ -23,6 +23,7 @@ import numpy as np
 from ..engine import Category, Counters, Simulator
 from ..memory import BoardTLB, MemoryBus
 from ..network import Network, Packet, PacketKind
+from ..obs import MetricsScope, private_scope
 from ..params import SimParams
 from .adc import ChannelManager, DeviceChannel, TransmitDescriptor
 from .aih import HandlerRegistry
@@ -52,15 +53,36 @@ class CNIInterface(NetworkInterface):
         counters: Counters,
         hooks: HostHooks,
         tlb: BoardTLB,
+        metrics: Optional[MetricsScope] = None,
     ):
         self.tlb = tlb
-        self.message_cache = MessageCache(params, tlb, counters)
-        self.pathfinder = Pathfinder()
-        self.handlers = HandlerRegistry(params)
+        m = metrics if metrics is not None else private_scope()
+        self.message_cache = MessageCache(params, tlb, counters,
+                                          metrics=m.scope("mcache"))
+        self.pathfinder = Pathfinder(metrics=m.scope("pathfinder"))
+        self.handlers = HandlerRegistry(params, metrics=m.scope("aih"))
         self.channel_manager = ChannelManager(sim)
         #: per-cell mode: packet_id -> classification of its first cell
         self._frag_targets = {}
-        super().__init__(sim, params, node_id, network, bus, counters, hooks)
+        super().__init__(sim, params, node_id, network, bus, counters, hooks,
+                         metrics=m)
+        adc = m.scope("adc")
+        chans = self.channel_manager.channels
+        # Aggregates over open channels: worst-case ring depths and the
+        # application's successful receive polls.
+        adc.gauge("tx_depth_hwm", fn=lambda: max(
+            (ch.transmit.depth_hwm for ch in chans.values()), default=0))
+        adc.gauge("rx_depth_hwm", fn=lambda: max(
+            (ch.receive.depth_hwm for ch in chans.values()), default=0))
+        adc.gauge("free_depth_hwm", fn=lambda: max(
+            (ch.free.depth_hwm for ch in chans.values()), default=0))
+        adc.counter("ring_full_rejections", fn=lambda: sum(
+            ch.transmit.full_rejections + ch.receive.full_rejections
+            + ch.free.full_rejections for ch in chans.values()))
+        adc.counter("protection_faults", fn=lambda: sum(
+            ch.protection_faults for ch in chans.values()))
+        adc.counter("ring_polls", fn=lambda: sum(
+            ch.poll_receives for ch in chans.values()))
         if params.snoop_enabled:
             bus.add_snooper(self._snoop)
         else:
@@ -250,7 +272,7 @@ class CNIInterface(NetworkInterface):
         packet.dst_vaddr = vaddr
         desc = self._receive_descriptor(packet)
         ch.receive.push(desc)
-        self.hooks.deliver_to_app(desc, via_interrupt=False)
+        self._deliver(desc, via_interrupt=False)
         return None
 
     # -- snooping --------------------------------------------------------------------

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..engine import Counters
 from ..memory import BoardTLB
+from ..obs import MetricsScope, private_scope
 from ..params import SimParams
 
 
@@ -44,7 +45,8 @@ class MessageCache:
     """Buffer map + cached buffers + snoop logic for one board."""
 
     def __init__(self, params: SimParams, tlb: BoardTLB,
-                 counters: Optional[Counters] = None):
+                 counters: Optional[Counters] = None,
+                 metrics: Optional[MetricsScope] = None):
         self.params = params
         self.tlb = tlb
         self.counters = counters if counters is not None else Counters()
@@ -52,11 +54,23 @@ class MessageCache:
         self._buffers: List[_Buffer] = [_Buffer(i) for i in range(n)]
         self._map: Dict[int, _Buffer] = {}  # the buffer map: vpage -> buffer
         self._clock_hand = 0
+        self.lookups = 0
+        self.hits = 0
         self.snoop_updates = 0
         self.snoop_aborts = 0
         self.insertions = 0
         self.evictions = 0
         self.invalidations = 0
+        m = metrics if metrics is not None else private_scope()
+        m.counter("hits", fn=lambda: self.hits)
+        m.counter("misses", fn=lambda: self.lookups - self.hits)
+        m.counter("insertions", fn=lambda: self.insertions)
+        m.counter("evictions", fn=lambda: self.evictions)
+        m.counter("invalidations", fn=lambda: self.invalidations)
+        m.counter("snoop_updates", fn=lambda: self.snoop_updates)
+        m.counter("snoop_aborts", fn=lambda: self.snoop_aborts)
+        m.gauge("occupancy", fn=lambda: self.occupancy)
+        m.gauge("capacity", fn=lambda: self.capacity)
 
     # -- capacity ---------------------------------------------------------------
     @property
@@ -81,10 +95,12 @@ class MessageCache:
         memory, skipping the host DMA.
         """
         self.counters.inc("mc_page_lookups")
+        self.lookups += 1
         buf = self._map.get(vpage)
         if buf is not None and buf.valid:
             buf.referenced = True
             self.counters.inc("mc_page_hits")
+            self.hits += 1
             return True
         return False
 

@@ -27,6 +27,7 @@ from typing import Any, Callable, Generator, Optional, Protocol
 from ..engine import Category, Counters, Mailbox, Simulator
 from ..memory import MemoryBus
 from ..network import CellTrain, Network, Packet, PacketKind, Reassembler, Segmenter
+from ..obs import MetricsScope, private_scope
 from ..params import SimParams
 from .adc import ReceiveDescriptor, TransmitDescriptor
 
@@ -58,6 +59,7 @@ class NetworkInterface:
         bus: MemoryBus,
         counters: Counters,
         hooks: HostHooks,
+        metrics: Optional[MetricsScope] = None,
     ):
         self.sim = sim
         self.params = params
@@ -66,6 +68,7 @@ class NetworkInterface:
         self.bus = bus
         self.counters = counters
         self.hooks = hooks
+        self.metrics = metrics if metrics is not None else private_scope()
         self.segmenter = Segmenter(params)
         self.reassembler = Reassembler(params)
         self.tx_queue: Mailbox = Mailbox(sim, f"nic{node_id}-tx")
@@ -73,6 +76,15 @@ class NetworkInterface:
         self.packets_sent = 0
         self.packets_received = 0
         self.packets_dropped = 0
+        self.metrics.counter("tx.packets_sent", fn=lambda: self.packets_sent)
+        self.metrics.counter("rx.packets_received",
+                             fn=lambda: self.packets_received)
+        self.metrics.counter("rx.packets_dropped",
+                             fn=lambda: self.packets_dropped)
+        # Hybrid notification split (Section 2.1): descriptors the host
+        # will notice by polling vs. arrivals that raised an interrupt.
+        self._m_poll_rx = self.metrics.counter("adc.poll_receives")
+        self._m_intr_rx = self.metrics.counter("adc.interrupt_receives")
         self._tx_proc = sim.spawn(self._transmit_loop(), f"nic{node_id}-txp")
         self._rx_proc = sim.spawn(self._receive_loop(), f"nic{node_id}-rxp")
 
@@ -232,6 +244,11 @@ class NetworkInterface:
         raise NotImplementedError
 
     # -- helpers ------------------------------------------------------------------
+    def _deliver(self, desc: ReceiveDescriptor, via_interrupt: bool) -> None:
+        """Hand a descriptor to the host, counting the notification mode."""
+        (self._m_intr_rx if via_interrupt else self._m_poll_rx).inc()
+        self.hooks.deliver_to_app(desc, via_interrupt=via_interrupt)
+
     def _receive_descriptor(self, packet: Packet) -> ReceiveDescriptor:
         return ReceiveDescriptor(
             src_node=packet.src_node,

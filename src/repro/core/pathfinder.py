@@ -25,6 +25,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..obs import MetricsScope, private_scope
+
 
 @dataclass(frozen=True)
 class PatternElement:
@@ -96,7 +98,8 @@ class _Cell:
 class Pathfinder:
     """The classifier: programmable pattern DAG + fragment table."""
 
-    def __init__(self, max_patterns: int = 1024):
+    def __init__(self, max_patterns: int = 1024,
+                 metrics: Optional[MetricsScope] = None):
         if max_patterns <= 0:
             raise ValueError("max_patterns must be positive")
         self.max_patterns = max_patterns
@@ -104,8 +107,16 @@ class Pathfinder:
         self._patterns: Dict[int, Pattern] = {}
         self._fragment_table: Dict[Tuple[int, int], Any] = {}
         self.classifications = 0
+        self.matches = 0
         self.fragment_hits = 0
         self.misses = 0
+        m = metrics if metrics is not None else private_scope()
+        m.counter("classifications", fn=lambda: self.classifications)
+        m.counter("matches", fn=lambda: self.matches)
+        m.counter("fragment_hits", fn=lambda: self.fragment_hits)
+        m.counter("misses", fn=lambda: self.misses)
+        m.gauge("patterns_installed", fn=lambda: self.pattern_count)
+        m.gauge("fragment_table_size", fn=lambda: self.fragment_table_size)
 
     # -- programming ---------------------------------------------------------
     def install(self, pattern: Pattern) -> int:
@@ -187,6 +198,7 @@ class Pathfinder:
         if best is None:
             self.misses += 1
             return None
+        self.matches += 1
         return best[1]
 
     def note_fragmented_packet(self, vci: int, packet_id: int, target: Any) -> None:

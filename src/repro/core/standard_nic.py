@@ -27,6 +27,7 @@ from collections import deque
 from ..engine import Category, Counters, Simulator
 from ..network import Network, Packet, PacketKind
 from ..memory import MemoryBus
+from ..obs import MetricsScope
 from ..params import SimParams
 from .adc import TransmitDescriptor
 from .nic_base import HostHooks, NetworkInterface
@@ -48,12 +49,16 @@ class StandardInterface(NetworkInterface):
         bus: MemoryBus,
         counters: Counters,
         hooks: HostHooks,
+        metrics: Optional[MetricsScope] = None,
     ):
-        super().__init__(sim, params, node_id, network, bus, counters, hooks)
+        super().__init__(sim, params, node_id, network, bus, counters, hooks,
+                         metrics=metrics)
         #: Kernel-side receive queue the application reads via syscalls.
         self.kernel_rx: Deque = deque()
         self.interrupts_raised = 0
         self._classifier_warm = False
+        self.metrics.counter("rx.host_interrupts",
+                             fn=lambda: self.interrupts_raised)
 
     # -- host send path -----------------------------------------------------------
     def host_send_cost_ns(self) -> float:
@@ -119,7 +124,7 @@ class StandardInterface(NetworkInterface):
             yield from self.bus.dma(packet.payload_bytes)
         desc = self._receive_descriptor(packet)
         self.kernel_rx.append(desc)
-        self.hooks.deliver_to_app(desc, via_interrupt=True)
+        self._deliver(desc, via_interrupt=True)
         return None
 
     # -- receive wake economics ---------------------------------------------------------

@@ -158,6 +158,10 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self.processes: List[Process] = []
+        #: Events dispatched over the simulator's lifetime (all runs).
+        self.events_processed = 0
+        #: High-water mark of the pending-event set, sampled at dispatch.
+        self.queue_len_hwm = 0
 
     # -- time ---------------------------------------------------------------
     @property
@@ -213,11 +217,15 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
+                qlen = len(self._queue)
+                if qlen > self.queue_len_hwm:
+                    self.queue_len_hwm = qlen
                 t, callback = self._queue.pop()
                 assert t >= self._now, "time went backwards"
                 self._now = t
                 callback()
                 fired += 1
+                self.events_processed += 1
             else:
                 if until is not None:
                     self._now = max(self._now, until)

@@ -94,6 +94,11 @@ class RunStats:
     counters: Counters = field(default_factory=Counters)
     """Cluster-wide event counters."""
 
+    metrics: Dict[str, object] = field(default_factory=dict)
+    """Flat snapshot of the cluster's :class:`~repro.obs.MetricsRegistry`
+    at the end of the run (dotted name -> value); see
+    docs/observability.md for the catalog."""
+
     def category_total_ns(self, category: Category) -> float:
         """Sum of ``category`` across processors."""
         return sum(acc.ns[category] for acc in self.per_processor)

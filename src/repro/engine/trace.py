@@ -33,11 +33,26 @@ class Tracer:
         self.enabled = enabled
         self.dropped = 0
 
+    @property
+    def capacity(self) -> int:
+        """The ring's bound (records retained before old ones drop)."""
+        return self._ring.maxlen
+
     def emit(self, time_ns: float, source: str, kind: str, detail: Any = None) -> None:
-        """Record one event (no-op unless enabled)."""
+        """Record one event (no-op unless enabled).
+
+        Drop accounting: ``deque(maxlen=...)`` silently discards the
+        *oldest* record when a full ring is appended to, so this method
+        counts the eviction explicitly — ``dropped`` is the number of
+        records that were emitted but are no longer in the ring.  The
+        invariant ``emitted == len(tracer) + tracer.dropped`` holds
+        until :meth:`clear`, which resets both.  Events emitted while
+        the tracer is disabled are *not* recorded and *not* counted as
+        dropped (they were never accepted).
+        """
         if not self.enabled:
             return
-        if len(self._ring) == self._ring.maxlen:
+        if len(self._ring) == self.capacity:
             self.dropped += 1
         self._ring.append(TraceRecord(time_ns, source, kind, detail))
 

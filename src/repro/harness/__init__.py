@@ -15,7 +15,7 @@ from .experiments import (
     table1_parameters,
     unrestricted_cell_experiment,
 )
-from .export import to_csv, to_json, write_result
+from .export import GLOBAL_METRICS_LOG, MetricsLog, to_csv, to_json, write_result
 from .report import ascii_plot, format_series, format_table
 from .svgplot import render_series_svg
 from .sweeps import sweep_param
@@ -24,6 +24,8 @@ from .runner import EXPERIMENTS, PAPER, QUICK, Scale, active_scale, run_experime
 
 __all__ = [
     "EXPERIMENTS",
+    "GLOBAL_METRICS_LOG",
+    "MetricsLog",
     "PAPER",
     "QUICK",
     "Scale",

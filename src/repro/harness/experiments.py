@@ -30,6 +30,7 @@ from ..apps.matrices import BandedSPD
 from ..engine import RunStats
 from ..params import SimParams
 from ..runtime import Cluster, MessagingService
+from .export import GLOBAL_METRICS_LOG
 from .results import SeriesResult, TableResult
 
 DEFAULT_PROCS = (1, 2, 4, 8, 16, 32)
@@ -37,12 +38,16 @@ DEFAULT_PROCS = (1, 2, 4, 8, 16, 32)
 
 def _run_app(app: str, params: SimParams, interface: str, workload) -> RunStats:
     if app == "jacobi":
-        return run_jacobi(params, interface, workload)[0]
-    if app == "water":
-        return run_water(params, interface, workload)[0]
-    if app == "cholesky":
-        return run_cholesky(params, interface, workload)[0]
-    raise ValueError(f"unknown app {app!r}")
+        stats = run_jacobi(params, interface, workload)[0]
+    elif app == "water":
+        stats = run_water(params, interface, workload)[0]
+    elif app == "cholesky":
+        stats = run_cholesky(params, interface, workload)[0]
+    else:
+        raise ValueError(f"unknown app {app!r}")
+    GLOBAL_METRICS_LOG.record(app, interface, params.num_processors,
+                              stats.metrics)
+    return stats
 
 
 def speedup_experiment(
@@ -209,6 +214,9 @@ def one_way_latency_ns(size: int, interface: str, base: SimParams) -> float:
             marks["t1"] = ctx.sim.now
 
     cluster.run(kernel)
+    GLOBAL_METRICS_LOG.record("latency_microbench", interface, 2,
+                              cluster.metrics.snapshot(),
+                              message_bytes=size)
     return marks["t1"] - marks["t0"]
 
 

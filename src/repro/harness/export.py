@@ -3,6 +3,13 @@
 ``python -m repro.harness`` prints text; programmatic users (or anyone
 regenerating the paper's figures with matplotlib/gnuplot) can dump any
 result via these helpers instead.
+
+This module also owns the :class:`MetricsLog` — the collector that lets
+``python -m repro.harness <exp> --metrics out/`` write a structured
+metrics JSON next to every experiment result: each simulated cluster run
+inside an experiment records its end-of-run
+:class:`~repro.obs.MetricsRegistry` snapshot here, tagged with the
+workload that produced it (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -10,11 +17,48 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
 
 from .results import SeriesResult, TableResult
 
 Result = Union[SeriesResult, TableResult]
+
+
+@dataclass
+class MetricsLog:
+    """Accumulates per-run metrics snapshots during one experiment."""
+
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record(self, app: str, interface: str, nprocs: int,
+               snapshot: Dict[str, Any], **extra: Any) -> None:
+        """Append one run's snapshot with its identifying metadata."""
+        entry: Dict[str, Any] = {
+            "app": app, "interface": interface, "nprocs": nprocs,
+        }
+        entry.update(extra)
+        entry["metrics"] = snapshot
+        self.entries.append(entry)
+
+    def clear(self) -> None:
+        """Drop everything (the runner clears between experiments)."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_json(self, name: str = "", indent: int = 2) -> str:
+        """All recorded runs as one JSON document."""
+        return json.dumps(
+            {"kind": "metrics_log", "name": name, "runs": self.entries},
+            indent=indent,
+        )
+
+
+#: The collector :mod:`repro.harness.experiments` records into; the CLI
+#: runner clears it before each experiment and dumps it afterwards.
+GLOBAL_METRICS_LOG = MetricsLog()
 
 
 def to_csv(result: Result) -> str:

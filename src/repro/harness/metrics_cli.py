@@ -1,0 +1,94 @@
+"""``python -m repro.harness metrics`` — the per-node metrics table.
+
+Runs one representative workload and prints the observability layer's
+per-node counters (Message Cache, ADC rings, PATHFINDER, AIH, bus), plus
+cluster-wide aggregates.  This is the quick way to eyeball where cycles
+and traffic go without setting up a full experiment::
+
+    python -m repro.harness metrics                       # jacobi, cni, 4 procs
+    python -m repro.harness metrics --app water --nprocs 8
+    python -m repro.harness metrics --interface standard
+    python -m repro.harness metrics --json out/metrics.json
+
+See docs/observability.md for what each column (and every exported
+metric) means.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..obs import aggregate_nodes, format_node_table, snapshot_to_json
+from ..params import SimParams
+
+#: Cluster-wide summary lines printed under the table, as
+#: (label, relative per-node metric) pairs summed across nodes.
+SUMMARY_ROWS = (
+    ("message cache hits", "nic.mcache.hits"),
+    ("message cache misses", "nic.mcache.misses"),
+    ("pathfinder matches", "nic.pathfinder.matches"),
+    ("aih dispatches", "nic.aih.dispatches"),
+    ("bus snooped writeback words", "bus.snooped_writeback_words"),
+    ("bus DMA transfers", "bus.dma_transfers"),
+)
+
+
+def _take(argv: List[str], name: str) -> Optional[str]:
+    if name in argv:
+        i = argv.index(name)
+        if i + 1 >= len(argv):
+            raise SystemExit(f"{name} needs an argument")
+        value = argv[i + 1]
+        del argv[i:i + 2]
+        return value
+    return None
+
+
+def run_metrics_workload(app: str, interface: str, nprocs: int, scale):
+    """Run the representative workload; returns its RunStats."""
+    from ..apps import run_cholesky, run_jacobi, run_water
+    from .runner import _chol14
+
+    if app == "jacobi":
+        return run_jacobi(SimParams().replace(num_processors=nprocs),
+                          interface, scale.jacobi_small)[0]
+    if app == "water":
+        return run_water(SimParams().replace(num_processors=nprocs),
+                         interface, scale.water_small)[0]
+    if app == "cholesky":
+        return run_cholesky(SimParams().replace(num_processors=nprocs),
+                            interface, _chol14(scale))[0]
+    raise SystemExit(f"unknown app {app!r} (jacobi, water or cholesky)")
+
+
+def metrics_main(argv: List[str], scale) -> int:
+    """Entry point for the ``metrics`` subcommand."""
+    argv = list(argv)
+    app = _take(argv, "--app") or "jacobi"
+    interface = _take(argv, "--interface") or "cni"
+    nprocs = int(_take(argv, "--nprocs") or 4)
+    json_path = _take(argv, "--json")
+    if argv:
+        raise SystemExit(f"unrecognized arguments: {argv}")
+
+    stats = run_metrics_workload(app, interface, nprocs, scale)
+    snapshot = stats.metrics
+    title = (f"per-node metrics — {app}, {interface} interface, "
+             f"{nprocs} processors ({scale.name} scale)")
+    print(format_node_table(snapshot, title=title))
+    totals = aggregate_nodes(snapshot)
+    print("\ncluster totals:")
+    for label, rel in SUMMARY_ROWS:
+        print(f"  {label:<30} {totals.get(rel, 0.0):>12g}")
+
+    if json_path:
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        meta = {"app": app, "interface": interface, "nprocs": nprocs,
+                "scale": scale.name}
+        with open(json_path, "w") as fh:
+            fh.write(snapshot_to_json(snapshot, meta=meta))
+        print(f"\nwrote {json_path}")
+    return 0

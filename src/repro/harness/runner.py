@@ -14,6 +14,8 @@ Usage::
     python -m repro.harness all
     REPRO_FULL=1 python -m repro.harness fig4
     python -m repro.harness all --svg out/ --csv out/   # export files too
+    python -m repro.harness all --metrics out/          # + metrics JSON per exp
+    python -m repro.harness metrics --app water         # per-node metric table
 """
 
 from __future__ import annotations
@@ -303,13 +305,21 @@ def main(argv: List[str] = None) -> int:
     argv = [a for a in argv if a != "--full"]
     svg_dir = _take_option(argv, "--svg")
     csv_dir = _take_option(argv, "--csv")
+    metrics_dir = _take_option(argv, "--metrics")
     scale = PAPER if (full or os.environ.get("REPRO_FULL") == "1") else QUICK
     if not argv:
         print(__doc__)
         print("experiments:", " ".join(sorted(EXPERIMENTS)))
         return 2
+    if argv[0] == "metrics":
+        from .metrics_cli import metrics_main
+
+        return metrics_main(argv[1:], scale)
     ids = sorted(EXPERIMENTS) if argv == ["all"] else argv
     for exp_id in ids:
+        from .export import GLOBAL_METRICS_LOG
+
+        GLOBAL_METRICS_LOG.clear()
         result = run_experiment(exp_id, scale)
         if isinstance(result, SeriesResult):
             print(format_series(result))
@@ -331,5 +341,11 @@ def main(argv: List[str] = None) -> int:
             with open(path, "w") as fh:
                 fh.write(to_csv(result))
             print(f"   wrote {path}")
+        if metrics_dir:
+            os.makedirs(metrics_dir, exist_ok=True)
+            path = os.path.join(metrics_dir, f"{exp_id}.metrics.json")
+            with open(path, "w") as fh:
+                fh.write(GLOBAL_METRICS_LOG.to_json(name=exp_id))
+            print(f"   wrote {path} ({len(GLOBAL_METRICS_LOG)} runs)")
         print()
     return 0

@@ -19,11 +19,12 @@ Two kinds of traffic matter to the model:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List
+from typing import Callable, Generator, List, Optional
 
 import numpy as np
 
 from ..engine import Resource, Simulator
+from ..obs import MetricsScope, SpanTracer, private_scope
 from ..params import SimParams
 
 #: A snooper receives ``(node_id, line_numbers)`` for bus write traffic.
@@ -33,15 +34,25 @@ Snooper = Callable[[int, np.ndarray], None]
 class MemoryBus:
     """One node's memory bus: a serialized resource plus snoop fan-out."""
 
-    def __init__(self, sim: Simulator, params: SimParams, node_id: int):
+    def __init__(self, sim: Simulator, params: SimParams, node_id: int,
+                 metrics: Optional[MetricsScope] = None,
+                 spans: Optional[SpanTracer] = None):
         self.sim = sim
         self.params = params
         self.node_id = node_id
         self._resource = Resource(sim, f"bus{node_id}")
         self._snoopers: List[Snooper] = []
+        self.spans = spans
         self.dma_bytes = 0
         self.dma_transfers = 0
         self.writeback_words = 0
+        self.snooped_writebacks = 0
+        m = metrics if metrics is not None else private_scope()
+        m.counter("dma_transfers", fn=lambda: self.dma_transfers)
+        m.counter("dma_bytes", fn=lambda: self.dma_bytes)
+        m.counter("snooped_writeback_words", fn=lambda: self.writeback_words)
+        m.counter("snooped_writebacks", fn=lambda: self.snooped_writebacks)
+        m.gauge("utilization_ns", fn=lambda: self.utilization_ns)
 
     # -- snooping -------------------------------------------------------------
     def add_snooper(self, snooper: Snooper) -> None:
@@ -58,6 +69,7 @@ class MemoryBus:
         """
         if lines.size == 0:
             return
+        self.snooped_writebacks += 1
         self.writeback_words += int(lines.size) * (
             self.params.cache_line_bytes // self.params.bus_word_bytes
         )
@@ -79,7 +91,14 @@ class MemoryBus:
             raise ValueError(f"negative DMA size {nbytes}")
         self.dma_transfers += 1
         self.dma_bytes += nbytes
-        yield from self._resource.held(self.dma_transfer_ns(nbytes))
+        if self.spans is not None:
+            # Span covers queueing + transfer: the DMA latency a master
+            # actually experiences, not just the wire time.
+            handle = self.spans.begin(f"bus{self.node_id}", "dma", nbytes)
+            yield from self._resource.held(self.dma_transfer_ns(nbytes))
+            self.spans.end(handle, detail=nbytes)
+        else:
+            yield from self._resource.held(self.dma_transfer_ns(nbytes))
         return None
 
     @property

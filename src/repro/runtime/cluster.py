@@ -14,9 +14,10 @@ import numpy as np
 
 from ..dsm import DsmEngine, HomePolicy, MsgType, SharedSegment
 from ..dsm.eager import EagerDsmEngine
-from ..engine import Counters, RunStats, SimulationError, Simulator
+from ..engine import Counters, RunStats, SimulationError, Simulator, Tracer
 from ..memory import AddressSpace
 from ..network import Network
+from ..obs import MetricsRegistry, SpanTracer
 from ..params import SimParams, cni_params, standard_interface_params
 from .context import Context
 from .node import DSM_HANDLER_CODE_BYTES, Node
@@ -51,6 +52,26 @@ class Cluster:
         self.protocol = protocol
         self.sim = Simulator()
         self.counters = Counters()
+
+        # -- observability substrate (docs/observability.md) --------------
+        #: Every metric of this cluster, keyed ``node<i>.<component>...``.
+        self.metrics = MetricsRegistry()
+        #: Bounded ring for span/point traces; off by default — flip
+        #: ``cluster.tracer.enabled = True`` before ``run()`` to record.
+        self.tracer = Tracer(enabled=False)
+        #: Span source for components; latency histograms under ``spans.*``
+        #: are fed even while the ring is disabled.
+        self.spans = SpanTracer(self.tracer, clock=lambda: self.sim.now,
+                                metrics=self.metrics.scope("spans"))
+        eng = self.metrics.scope("engine")
+        eng.counter("events_processed", fn=lambda: self.sim.events_processed)
+        eng.gauge("event_queue_hwm", fn=lambda: self.sim.queue_len_hwm)
+        eng.gauge("sim_time_ns", fn=lambda: self.sim.now)
+        # The legacy cluster-wide Counters bag, mirrored under
+        # ``cluster.*`` at snapshot time (names are only known at run
+        # time, so a probe late-registers them).
+        self.metrics.add_probe(self._sync_cluster_counters)
+
         self.network = Network(self.sim, params)
         self.asp = AddressSpace(
             page_size=params.page_size_bytes,
@@ -62,7 +83,9 @@ class Cluster:
         self.nodes: List[Node] = []
         for i in range(params.num_processors):
             node = Node(self.sim, params, i, self.network, self.counters,
-                        interface=interface)
+                        interface=interface,
+                        metrics=self.metrics.scope(f"node{i}"),
+                        spans=self.spans)
             self.nodes.append(node)
         engine_cls = EagerDsmEngine if protocol == "eager" else DsmEngine
         for node in self.nodes:
@@ -72,6 +95,14 @@ class Cluster:
             node.nic.set_protocol_sink(engine.handle_packet)
         self._setup_connections()
         self._ran = False
+
+    def _sync_cluster_counters(self, registry: MetricsRegistry) -> None:
+        """Snapshot probe: expose each legacy counter as
+        ``cluster.<name>`` (function-sourced, so re-snapshots stay
+        current without double counting)."""
+        bag = self.counters
+        for key in bag.as_dict():
+            registry.counter(f"cluster.{key}", fn=lambda key=key: bag.get(key))
 
     # ----------------------------------------------------------------- wiring --
     def _setup_connections(self) -> None:
@@ -126,11 +157,13 @@ class Cluster:
         self._ran = True
         self.finalize_memory()
 
+        run_span = self.spans.begin("cluster", "run")
         procs = []
         for node in self.nodes:
             ctx = Context(node, node.node_id, self.params.num_processors)
             procs.append(self.sim.spawn(kernel(ctx), f"app{node.node_id}"))
         self.sim.run(max_events=max_events)
+        self.spans.end(run_span)
 
         unfinished = [p.name for p in procs if not p.finished]
         if unfinished:
@@ -143,6 +176,7 @@ class Cluster:
         stats.elapsed_ns = self.sim.now
         stats.counters = self.counters
         stats.per_processor = [n.account for n in self.nodes]
+        stats.metrics = self.metrics.snapshot()
         return stats
 
     # -------------------------------------------------------------- reporting --

@@ -24,6 +24,7 @@ from ..memory import (
     lines_in_range,
 )
 from ..network import Network
+from ..obs import MetricsScope, SpanTracer, private_scope
 from ..params import SimParams
 
 #: AIH object-code footprint of the DSM protocol (one consistency
@@ -42,6 +43,8 @@ class Node:
         network: Network,
         counters: Counters,
         interface: str = "cni",
+        metrics: Optional[MetricsScope] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         if interface not in ("cni", "standard"):
             raise ValueError(f"unknown interface type {interface!r}")
@@ -50,6 +53,8 @@ class Node:
         self.node_id = node_id
         self.counters = counters
         self.interface = interface
+        self.metrics = metrics if metrics is not None else private_scope()
+        self.spans = spans
 
         self.account = TimeAccount()
         self.cache = CacheHierarchy(
@@ -60,18 +65,21 @@ class Node:
             l2_cycles=params.l2_access_cycles,
             memory_cycles=params.memory_latency_cycles,
         )
-        self.bus = MemoryBus(sim, params, node_id)
+        self.bus = MemoryBus(sim, params, node_id,
+                             metrics=self.metrics.scope("bus"), spans=spans)
         self.memory = MainMemory(params, node_id)
         self.mmu = HostMMU(params.page_size_bytes)
         self.tlb = BoardTLB(self.mmu)
 
         if interface == "cni":
             self.nic = CNIInterface(
-                sim, params, node_id, network, self.bus, counters, self, self.tlb
+                sim, params, node_id, network, self.bus, counters, self,
+                self.tlb, metrics=self.metrics.scope("nic")
             )
         else:
             self.nic = StandardInterface(
-                sim, params, node_id, network, self.bus, counters, self
+                sim, params, node_id, network, self.bus, counters, self,
+                metrics=self.metrics.scope("nic")
             )
 
         #: Pending asynchronous host work, folded into the next compute.
@@ -251,12 +259,16 @@ class Node:
         is charged as synch overhead; the blocked stretch is synch delay.
         """
         t0 = self.sim.now
+        span = (self.spans.begin(f"node{self.node_id}", "rx_wait")
+                if self.spans is not None else None)
         self.app_blocked = True
         try:
             while not self.app_inbox:
                 yield from self.app_rx_gate.wait()
         finally:
             self.app_blocked = False
+        if span is not None:
+            self.spans.end(span)
         self.account_delay(self.sim.now - t0)
         wake_ns = self.nic.rx_wake_overhead_ns()
         yield wake_ns

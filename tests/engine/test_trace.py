@@ -38,6 +38,24 @@ def test_ring_bounds_and_drop_count():
     assert [r.detail for r in t.records()] == [2, 3, 4]
 
 
+def test_drop_invariant_emitted_equals_len_plus_dropped():
+    t = Tracer(capacity=4, enabled=True)
+    emitted = 0
+    for i in range(11):
+        t.emit(float(i), "s", "k")
+        emitted += 1
+        assert emitted == len(t) + t.dropped
+    assert t.capacity == 4
+    assert t.dropped == 7
+
+
+def test_disabled_emits_are_not_counted_as_dropped():
+    t = Tracer(capacity=2, enabled=False)
+    for i in range(5):
+        t.emit(float(i), "s", "k")
+    assert len(t) == 0 and t.dropped == 0
+
+
 def test_clear():
     t = Tracer(capacity=2, enabled=True)
     t.emit(0.0, "s", "k")

@@ -1,0 +1,91 @@
+"""Tests for the metrics side of the harness: the MetricsLog collector,
+the ``--metrics`` export path, and the ``metrics`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.harness import GLOBAL_METRICS_LOG, MetricsLog
+from repro.harness.metrics_cli import metrics_main
+from repro.harness.runner import QUICK, main
+
+
+# -- MetricsLog ----------------------------------------------------------------
+
+def test_metrics_log_records_and_clears():
+    log = MetricsLog()
+    log.record("jacobi", "cni", 4, {"node0.x": 1}, message_bytes=512)
+    assert len(log) == 1
+    entry = log.entries[0]
+    assert entry["app"] == "jacobi" and entry["nprocs"] == 4
+    assert entry["message_bytes"] == 512
+    assert entry["metrics"] == {"node0.x": 1}
+    log.clear()
+    assert len(log) == 0
+
+
+def test_metrics_log_json_document():
+    log = MetricsLog()
+    log.record("water", "standard", 2, {"a": 1})
+    doc = json.loads(log.to_json(name="fig6"))
+    assert doc["kind"] == "metrics_log"
+    assert doc["name"] == "fig6"
+    assert doc["runs"][0]["interface"] == "standard"
+
+
+def test_experiments_feed_the_global_log():
+    from repro.harness import one_way_latency_ns
+    from repro.params import SimParams
+
+    GLOBAL_METRICS_LOG.clear()
+    one_way_latency_ns(512, "cni", SimParams())
+    assert len(GLOBAL_METRICS_LOG) == 1
+    entry = GLOBAL_METRICS_LOG.entries[0]
+    assert entry["app"] == "latency_microbench"
+    assert entry["message_bytes"] == 512
+    assert any(k.endswith("nic.mcache.hits") for k in entry["metrics"])
+    GLOBAL_METRICS_LOG.clear()
+
+
+# -- the `metrics` CLI subcommand ---------------------------------------------
+
+def test_metrics_cli_prints_table_and_totals(capsys):
+    assert metrics_main(["--nprocs", "2"], QUICK) == 0
+    out = capsys.readouterr().out
+    assert "per-node metrics" in out
+    assert "node0" in out and "node1" in out
+    assert "mc.hits" in out and "aih.disp" in out
+    assert "cluster totals:" in out
+
+
+def test_metrics_cli_writes_json(tmp_path, capsys):
+    path = tmp_path / "m.json"
+    assert metrics_main(
+        ["--nprocs", "2", "--interface", "standard", "--json", str(path)],
+        QUICK) == 0
+    doc = json.loads(path.read_text())
+    assert doc["meta"]["interface"] == "standard"
+    assert any(k.endswith("rx.host_interrupts") for k in doc["metrics"])
+
+
+def test_metrics_cli_rejects_unknown_app_and_args():
+    with pytest.raises(SystemExit):
+        metrics_main(["--app", "doom"], QUICK)
+    with pytest.raises(SystemExit):
+        metrics_main(["--frobnicate"], QUICK)
+
+
+# -- runner --metrics ----------------------------------------------------------
+
+def test_runner_exports_metrics_json_per_experiment(tmp_path, capsys):
+    assert main(["fig14", "--metrics", str(tmp_path)]) == 0
+    doc = json.loads((tmp_path / "fig14.metrics.json").read_text())
+    assert doc["kind"] == "metrics_log" and doc["name"] == "fig14"
+    # 6 message sizes x 2 interfaces
+    assert len(doc["runs"]) == 12
+    cni_runs = [r for r in doc["runs"] if r["interface"] == "cni"]
+    assert all("message_bytes" in r for r in cni_runs)
+    # every run carries per-node counters for both nodes
+    for r in doc["runs"]:
+        for nid in range(2):
+            assert f"node{nid}.nic.tx.packets_sent" in r["metrics"]

@@ -1,0 +1,60 @@
+"""Unit tests for snapshot export helpers: node table, aggregation and
+JSON rendering."""
+
+import json
+
+from repro.obs import (
+    aggregate_nodes,
+    format_node_table,
+    node_ids,
+    per_node_rows,
+    snapshot_to_json,
+)
+
+SNAP = {
+    "engine.events_processed": 10,
+    "node0.nic.mcache.hits": 3,
+    "node0.nic.tx.packets_sent": 5,
+    "node0.bus.snooped_writeback_words": 100,
+    "node1.nic.mcache.hits": 4,
+    "node1.nic.tx.packets_sent": 6,
+    "node1.bus.snooped_writeback_words": 50,
+    "node10.nic.mcache.hits": 1,
+    "spans.dma_ns": {"count": 7, "sum": 1000.0, "buckets": {"+inf": 7}},
+}
+
+
+def test_node_ids_sorted_numerically():
+    assert node_ids(SNAP) == [0, 1, 10]
+    assert node_ids({"engine.x": 1}) == []
+
+
+def test_per_node_rows_fill_missing_with_zero():
+    cols = (("hits", "nic.mcache.hits"), ("tx", "nic.tx.packets_sent"))
+    assert per_node_rows(SNAP, cols) == [[3, 5], [4, 6], [1, 0]]
+
+
+def test_aggregate_nodes_sums_and_counts_histograms():
+    totals = aggregate_nodes(SNAP)
+    assert totals["nic.mcache.hits"] == 8
+    assert totals["bus.snooped_writeback_words"] == 150
+    assert "engine.events_processed" not in totals   # not per-node
+    h = aggregate_nodes({"node0.lat": {"count": 4, "sum": 1.0, "buckets": {}}})
+    assert h["lat"] == 4
+
+
+def test_format_node_table_alignment_and_fallback():
+    cols = (("hits", "nic.mcache.hits"),)
+    text = format_node_table(SNAP, cols, title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert [l.split()[0] for l in lines[3:]] == ["node0", "node1", "node10"]
+    assert "no per-node metrics" in format_node_table({"engine.x": 1})
+
+
+def test_snapshot_to_json_round_trips():
+    doc = json.loads(snapshot_to_json(SNAP, meta={"app": "jacobi"}))
+    assert doc["kind"] == "metrics"
+    assert doc["meta"]["app"] == "jacobi"
+    assert doc["metrics"]["node0.nic.mcache.hits"] == 3
+    assert doc["metrics"]["spans.dma_ns"]["count"] == 7

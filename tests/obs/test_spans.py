@@ -1,0 +1,90 @@
+"""Unit tests for span tracing: ring records, always-on histograms, and
+the tracer drop-count invariant spans rely on."""
+
+from repro.engine import Tracer
+from repro.obs import MetricsRegistry, SpanTracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(enabled=True, capacity=4096):
+    clock = FakeClock()
+    tracer = Tracer(capacity=capacity, enabled=enabled)
+    registry = MetricsRegistry()
+    spans = SpanTracer(tracer, clock, metrics=registry.scope("spans"))
+    return clock, tracer, registry, spans
+
+
+def test_span_duration_and_ring_records():
+    clock, tracer, _reg, spans = make(enabled=True)
+    h = spans.begin("bus0", "dma", 4096)
+    clock.now = 250.0
+    assert spans.end(h) == 250.0
+    enter, exit_ = tracer.records()
+    assert (enter.source, enter.kind, enter.detail) == ("bus0", "dma:enter", 4096)
+    assert exit_.kind == "dma:exit"
+    assert exit_.detail["duration_ns"] == 250.0
+
+
+def test_histogram_fed_even_with_ring_disabled():
+    clock, tracer, registry, spans = make(enabled=False)
+    h = spans.begin("n0", "rx_wait")
+    clock.now = 300.0
+    spans.end(h)
+    assert len(tracer) == 0                      # nothing hit the ring
+    snap = registry.snapshot()
+    assert snap["spans.rx_wait_ns"]["count"] == 1
+    assert snap["spans.rx_wait_ns"]["sum"] == 300.0
+    assert spans.spans_closed == 1
+    assert spans.ring_enabled is False
+
+
+def test_spans_nest_independently():
+    clock, _t, registry, spans = make(enabled=False)
+    outer = spans.begin("x", "outer")
+    clock.now = 10.0
+    inner = spans.begin("x", "inner")
+    clock.now = 15.0
+    assert spans.end(inner) == 5.0
+    clock.now = 100.0
+    assert spans.end(outer) == 100.0
+    snap = registry.snapshot()
+    assert snap["spans.outer_ns"]["count"] == 1
+    assert snap["spans.inner_ns"]["count"] == 1
+
+
+def test_context_manager_closes_on_exception():
+    clock, _t, _reg, spans = make(enabled=False)
+    try:
+        with spans.span("x", "risky"):
+            clock.now = 7.0
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert spans.spans_closed == 1
+
+
+def test_no_metrics_scope_means_no_histograms():
+    clock = FakeClock()
+    spans = SpanTracer(Tracer(enabled=False), clock)
+    h = spans.begin("x", "k")
+    clock.now = 5.0
+    assert spans.end(h) == 5.0   # no metrics attached: still returns duration
+
+
+def test_ring_overflow_keeps_drop_invariant():
+    clock, tracer, _reg, spans = make(enabled=True, capacity=4)
+    for i in range(6):
+        h = spans.begin("s", "k")
+        clock.now += 10.0
+        spans.end(h)
+    # 12 emits into a 4-slot ring: invariant emitted == len + dropped
+    assert len(tracer) == 4
+    assert tracer.dropped == 8
+    assert tracer.capacity == 4

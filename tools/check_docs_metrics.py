@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Docs-consistency check: the metric catalog is not allowed to lie.
+
+Extracts every backticked dotted metric name between the
+``<!-- metric-catalog:start -->`` / ``<!-- metric-catalog:end -->``
+markers in docs/observability.md, smoke-runs the simulator (a CNI
+cluster, a standard cluster, and one messaging microbenchmark — the
+union exercises every subsystem), and fails if
+
+* any documented name was never registered (stale docs), or
+* any registered name outside the run-dependent ``cluster.*`` mirror is
+  missing from the catalog (undocumented instrumentation).
+
+Per-node names compare with the node index normalized to ``node0`` —
+the catalog documents the exemplar, the run registers all nodes.
+
+Run directly (``python tools/check_docs_metrics.py``) or via pytest
+(tests/test_docs_consistency.py).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC_PATH = os.path.join(REPO_ROOT, "docs", "observability.md")
+START = "<!-- metric-catalog:start -->"
+END = "<!-- metric-catalog:end -->"
+
+#: A dotted lower_snake_case path inside backticks; excludes Python
+#: attribute references (``RunStats.metrics`` has uppercase) and
+#: placeholders (``cluster.<key>`` has angle brackets).
+_NAME_RE = re.compile(r"`[^`]*`")
+_DOTTED_RE = re.compile(r"\b[a-z0-9_]+(?:\.[a-z0-9_]+)+\b")
+_NODE_RE = re.compile(r"^node\d+\.")
+
+
+def documented_names(doc_path: str = DOC_PATH) -> Set[str]:
+    """Metric names promised by the catalog section of the docs."""
+    with open(doc_path) as fh:
+        text = fh.read()
+    try:
+        catalog = text.split(START, 1)[1].split(END, 1)[0]
+    except IndexError:
+        raise SystemExit(
+            f"{doc_path}: metric-catalog markers missing or unbalanced")
+    names: Set[str] = set()
+    for span in _NAME_RE.findall(catalog):
+        if "*" in span:
+            continue  # a namespace prefix (`node0.nic.mcache.*`), not a metric
+        names.update(_DOTTED_RE.findall(span))
+    return {_NODE_RE.sub("node0.", n) for n in names}
+
+
+def registered_names() -> Set[str]:
+    """Union of metric names a smoke-run of the simulator registers."""
+    from repro.apps import JacobiConfig, run_jacobi
+    from repro.harness.experiments import one_way_latency_ns
+    from repro.harness.export import GLOBAL_METRICS_LOG
+    from repro.params import SimParams
+
+    names: Set[str] = set()
+    cfg = JacobiConfig(n=48, iterations=4)
+    for interface in ("cni", "standard"):
+        stats, _ = run_jacobi(
+            SimParams().replace(num_processors=2), interface, cfg)
+        names.update(stats.metrics)
+    GLOBAL_METRICS_LOG.clear()
+    one_way_latency_ns(1024, "cni", SimParams())
+    names.update(GLOBAL_METRICS_LOG.entries[-1]["metrics"])
+    GLOBAL_METRICS_LOG.clear()
+    return {_NODE_RE.sub("node0.", n) for n in names}
+
+
+def check() -> Tuple[Set[str], Set[str]]:
+    """Returns (documented-but-never-registered, registered-but-undocumented)."""
+    documented = documented_names()
+    registered = registered_names()
+    stale = documented - registered
+    undocumented = {n for n in registered - documented
+                    if not n.startswith("cluster.")}
+    return stale, undocumented
+
+
+def main() -> int:
+    stale, undocumented = check()
+    if stale:
+        print("documented but never registered by the smoke run:")
+        for name in sorted(stale):
+            print(f"  {name}")
+    if undocumented:
+        print("registered but missing from docs/observability.md catalog:")
+        for name in sorted(undocumented):
+            print(f"  {name}")
+    if stale or undocumented:
+        return 1
+    print(f"ok: {len(documented_names())} documented metric names all "
+          f"registered; no undocumented instrumentation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    raise SystemExit(main())

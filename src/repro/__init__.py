@@ -15,11 +15,14 @@ Subpackages: :mod:`repro.engine` (discrete-event kernel),
 :mod:`repro.memory` (caches/bus/MMU), :mod:`repro.network` (ATM fabric),
 :mod:`repro.core` (the CNI and the baseline NIC), :mod:`repro.dsm`
 (lazy release consistency), :mod:`repro.runtime` (cluster assembly),
-:mod:`repro.apps` (benchmarks), :mod:`repro.harness` (the paper's
-tables and figures).
+:mod:`repro.apps` (benchmarks), :mod:`repro.faults` (deterministic
+fault injection), :mod:`repro.harness` (the paper's tables and
+figures).
 """
 
+from .core import DeliveryFailed
 from .engine import Category, Counters, RunStats, TimeAccount
+from .faults import FaultPlan
 from .params import PAPER_PARAMS, SimParams, cni_params, standard_interface_params
 from .runtime import Cluster, Context, MessagingService
 
@@ -30,6 +33,8 @@ __all__ = [
     "Cluster",
     "Context",
     "Counters",
+    "DeliveryFailed",
+    "FaultPlan",
     "MessagingService",
     "PAPER_PARAMS",
     "RunStats",

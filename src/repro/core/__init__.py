@@ -9,6 +9,8 @@
   (Section 2.3).
 * :class:`CNIInterface` / :class:`StandardInterface` — the two boards
   Section 3 compares.
+* :class:`ReliableTransport` / :class:`DeliveryFailed` — NIC-resident
+  reliable delivery for lossy fabrics (docs/reliability.md).
 """
 
 from .adc import (
@@ -24,6 +26,7 @@ from .cni_nic import AIH_TARGET, CHANNEL_TARGET, CNIInterface, PIO_THRESHOLD_BYT
 from .message_cache import MessageCache
 from .nic_base import HostHooks, NetworkInterface
 from .pathfinder import Pathfinder, Pattern, PatternElement
+from .reliability import DeliveryFailed, ReliableTransport
 from .standard_nic import StandardInterface
 
 __all__ = [
@@ -32,6 +35,7 @@ __all__ = [
     "CNIInterface",
     "ChannelError",
     "ChannelManager",
+    "DeliveryFailed",
     "DeviceChannel",
     "DualPortedRing",
     "HandlerError",
@@ -44,6 +48,7 @@ __all__ = [
     "Pattern",
     "PatternElement",
     "ReceiveDescriptor",
+    "ReliableTransport",
     "StandardInterface",
     "TransmitDescriptor",
 ]

@@ -44,6 +44,10 @@ class TransmitDescriptor:
     use it: the application must not reuse or re-dirty the buffer while
     the board may still be DMAing from it."""
 
+    reliable: bool = True
+    """Whether the reliable transport (when enabled) tracks the packet
+    built from this descriptor; False opts a send out (best effort)."""
+
     def __post_init__(self):
         if self.length < 0:
             raise ValueError("negative transmit length")

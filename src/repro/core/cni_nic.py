@@ -195,6 +195,10 @@ class CNIInterface(NetworkInterface):
         handle fragmented packets').  The first cell carries the header
         and is classified; the result is remembered in the fragment
         table so later cells route without a header."""
+        if packet.kind is PacketKind.ACK:
+            # Transport-internal: consumed by the NI before demux, so it
+            # never enters the PATHFINDER fragment table.
+            return 0.0
         if cell.seq == 0:
             target = self.pathfinder.classify(packet.header_bytes())
             self._frag_targets[packet.packet_id] = target
@@ -207,6 +211,11 @@ class CNIInterface(NetworkInterface):
 
     def _end_fragmented(self, cell) -> None:
         self.pathfinder.end_of_packet(cell.vci, cell.packet_id)
+
+    def _discard_receive(self, packet: Packet) -> None:
+        """A duplicate never reaches dispatch; drop its staged
+        classification so the fragment-target map cannot leak."""
+        self._frag_targets.pop(packet.packet_id, None)
 
     # -- receive dispatch ---------------------------------------------------------------
     def _dispatch_receive(self, packet: Packet) -> Generator:

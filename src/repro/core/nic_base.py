@@ -30,6 +30,7 @@ from ..network import CellTrain, Network, Packet, PacketKind, Reassembler, Segme
 from ..obs import MetricsScope, private_scope
 from ..params import SimParams
 from .adc import ReceiveDescriptor, TransmitDescriptor
+from .reliability import ReliableTransport
 
 
 class HostHooks(Protocol):
@@ -76,11 +77,18 @@ class NetworkInterface:
         self.packets_sent = 0
         self.packets_received = 0
         self.packets_dropped = 0
+        self.payload_bytes_received = 0
+        #: NI-resident reliable delivery (no-op when the parameter is
+        #: off; always constructed so its counters exist).
+        self.reliab = ReliableTransport(sim, params, self,
+                                        metrics=self.metrics.scope("reliab"))
         self.metrics.counter("tx.packets_sent", fn=lambda: self.packets_sent)
         self.metrics.counter("rx.packets_received",
                              fn=lambda: self.packets_received)
         self.metrics.counter("rx.packets_dropped",
                              fn=lambda: self.packets_dropped)
+        self.metrics.counter("rx.payload_bytes",
+                             fn=lambda: self.payload_bytes_received)
         # Hybrid notification split (Section 2.1): descriptors the host
         # will notice by polling vs. arrivals that raised an interrupt.
         self._m_poll_rx = self.metrics.counter("adc.poll_receives")
@@ -143,6 +151,7 @@ class NetworkInterface:
             payload=desc.payload,
             cacheable=desc.cacheable,
             src_vaddr=desc.vaddr,
+            reliable=desc.reliable,
         )
 
     def _transmit_one(self, packet: Packet) -> Generator:
@@ -150,23 +159,32 @@ class NetworkInterface:
         # Fixed per-packet work on the NI processor (header build, queue
         # manipulation).
         yield self.params.ni_cycles_ns(self.params.ni_packet_overhead_cycles)
-        # Stage the payload into board memory (DMA unless cached).
+        # Stage the payload into board memory (DMA unless cached).  A
+        # reliable retransmission re-enters here with the same packet
+        # object, so an unmodified buffer hits the Message Cache.
         staged_from_host = yield from self._stage_payload(packet)
-        self._count_transmit(bool(staged_from_host))
+        if packet.kind is not PacketKind.ACK:
+            # NI-internal acks stay out of the paper's hit-ratio metric.
+            self._count_transmit(bool(staged_from_host))
         # Segmentation: per-cell work on the NI processor.
         if self.params.per_cell_transport and not self.params.unrestricted_cell_size:
             cells = self.segmenter.segment(packet)
             yield self.segmenter.sar_time_ns(len(cells))
-            self.packets_sent += 1
-            self.counters.inc("nic_packets_sent")
+            self._note_sent(packet)
             self.network.send_cells(cells, packet)
         else:
             train = self.segmenter.make_train(packet)
             yield self.segmenter.sar_time_ns(train.n_cells)
-            self.packets_sent += 1
-            self.counters.inc("nic_packets_sent")
+            self._note_sent(packet)
             self.network.send_train(train)
         return None
+
+    def _note_sent(self, packet: Packet) -> None:
+        """Count a departure and hand it to the reliable transport."""
+        if packet.kind is not PacketKind.ACK:
+            self.packets_sent += 1
+            self.counters.inc("nic_packets_sent")
+        self.reliab.on_transmit(packet)
 
     def _stage_payload(self, packet: Packet) -> Generator:
         """Move the outgoing payload from host memory to the board.
@@ -202,9 +220,7 @@ class NetworkInterface:
                 self.packets_dropped += 1
                 self.counters.inc("nic_packets_dropped")
                 continue
-            self.packets_received += 1
-            self.counters.inc("nic_packets_received")
-            yield from self._dispatch_receive(packet)
+            yield from self._accept_packet(packet)
 
     def _receive_cell(self, cell, packet: Packet) -> Generator:
         """Per-cell transport: reassemble one fragment at a time.
@@ -217,7 +233,7 @@ class NetworkInterface:
         extra = self._on_fragment(cell, packet)
         if extra:
             yield extra
-        done = self.reassembler.accept_cell(cell, packet)
+        done = self.reassembler.accept_cell(cell, packet, now=self.sim.now)
         if done is None:
             if cell.eop:
                 # AAL5 integrity failure at end-of-packet: whole packet lost
@@ -227,10 +243,32 @@ class NetworkInterface:
             return None
         self._end_fragmented(cell)
         yield self.params.ni_cycles_ns(self.params.ni_packet_overhead_cycles)
-        self.packets_received += 1
-        self.counters.inc("nic_packets_received")
-        yield from self._dispatch_receive(done)
+        yield from self._accept_packet(done)
         return None
+
+    def _accept_packet(self, packet: Packet) -> Generator:
+        """Reliability layer between reassembly and dispatch: consume
+        acks, ack tracked packets, suppress duplicates, resequence."""
+        if packet.kind is PacketKind.ACK:
+            self.reliab.on_ack(packet)
+            return
+        if self.reliab.tracks(packet) or packet.rel_seq is not None:
+            # Ack every arrival — including duplicates, whose earlier
+            # ack is exactly what may have been lost.
+            self.board_send(self.reliab.make_ack(packet, self.node_id))
+        ready, accepted = self.reliab.on_receive(packet)
+        if not accepted:
+            self._discard_receive(packet)
+        for p in ready:
+            self.packets_received += 1
+            self.counters.inc("nic_packets_received")
+            self.payload_bytes_received += p.payload_bytes
+            yield from self._dispatch_receive(p)
+        return None
+
+    def _discard_receive(self, packet: Packet) -> None:
+        """Teardown hook for a duplicate-suppressed packet (subclasses
+        drop any per-packet routing state they staged)."""
 
     def _on_fragment(self, cell, packet: Packet) -> float:
         """Per-fragment classification hook; returns extra NI time."""

@@ -16,6 +16,11 @@ to the CNI cluster.  Concretely:
   with application protocol code).
 * **Protocol**: the DSM consistency protocol runs on the host CPU,
   stealing application cycles for every remote request served.
+
+When ``reliable_transport`` is on, acknowledgements and retransmissions
+are still handled by the board firmware (the base-class transport) and
+raise no host interrupts — reliability is a NIC property on both
+interfaces; only the *data* delivery economics differ.
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ remote page).  :class:`TimeAccount` reproduces exactly that taxonomy.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Mapping
@@ -108,6 +110,24 @@ class RunStats:
         """The paper's figure-of-merit: transmit-path Message Cache hits
         over total message transmissions (Section 3)."""
         return self.counters.ratio("mc_transmit_hits", "mc_transmit_lookups")
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the run.
+
+        Hashes elapsed time, every cluster counter, the full metric
+        snapshot and the per-processor time accounts.  Two runs of the
+        same workload under the same parameters — including the same
+        :class:`~repro.faults.FaultPlan` seed — must produce identical
+        digests; the chaos suite's determinism test relies on it.
+        """
+        doc = {
+            "elapsed_ns": self.elapsed_ns,
+            "counters": self.counters.as_dict(),
+            "metrics": self.metrics,
+            "accounts": [a.as_dict() for a in self.per_processor],
+        }
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
 
     def overhead_table(self, cpu_freq_hz: float) -> Dict[str, float]:
         """The Tables 2-4 breakdown, in CPU cycles (summed over procs)."""

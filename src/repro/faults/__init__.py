@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the simulated cluster.
+
+One composable entry point replaces the ad-hoc loss-injector callables:
+build a :class:`FaultPlan` (seed + schedules), hand it to
+``SimParams.replace(fault_plan=...)``, and the fabric applies it
+reproducibly on both interfaces.  Pair it with
+``reliable_transport=True`` so workloads survive the injected damage
+(see docs/reliability.md).
+"""
+
+from .plan import (
+    ActiveFaultPlan,
+    CellCorrupt,
+    CellLoss,
+    FaultPlan,
+    LinkDown,
+    NicStall,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "ActiveFaultPlan",
+    "CellCorrupt",
+    "CellLoss",
+    "FaultPlan",
+    "LinkDown",
+    "NicStall",
+    "parse_fault_plan",
+]

@@ -6,6 +6,7 @@
 
 from .experiments import (
     bandwidth_microbenchmark,
+    fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
     one_way_latency_ns,
@@ -34,6 +35,7 @@ __all__ = [
     "active_scale",
     "ascii_plot",
     "bandwidth_microbenchmark",
+    "fault_sweep_experiment",
     "format_series",
     "format_table",
     "latency_microbenchmark",

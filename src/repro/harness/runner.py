@@ -16,6 +16,12 @@ Usage::
     python -m repro.harness all --svg out/ --csv out/   # export files too
     python -m repro.harness all --metrics out/          # + metrics JSON per exp
     python -m repro.harness metrics --app water         # per-node metric table
+    python -m repro.harness faults                      # loss-rate sweep
+    python -m repro.harness fig2 --fault-plan 'seed=7;cell_loss(rate=0.01)'
+
+``--fault-plan SPEC`` injects faults into any experiment (and enables
+the reliable transport so runs survive them); see
+:func:`repro.faults.parse_fault_plan` for the grammar.
 """
 
 from __future__ import annotations
@@ -32,7 +38,9 @@ from ..apps import (
     bcsstk14_like,
     bcsstk15_like,
 )
+from ..params import SimParams
 from .experiments import (
+    fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
     overhead_table_experiment,
@@ -66,6 +74,7 @@ class Scale:
     page_sizes: Sequence[int]
     mcache_sizes: Sequence[int]
     message_sizes: Sequence[int]
+    loss_rates: Sequence[float]
 
 
 QUICK = Scale(
@@ -84,6 +93,7 @@ QUICK = Scale(
     page_sizes=(1024, 2048, 4096, 8192),
     mcache_sizes=(8192, 16384, 32768, 65536, 131072, 262144),
     message_sizes=(0, 512, 1024, 2048, 3072, 4096),
+    loss_rates=(0.0, 0.002, 0.01),
 )
 
 PAPER = Scale(
@@ -102,6 +112,7 @@ PAPER = Scale(
     page_sizes=(1024, 2048, 4096, 8192, 16384),
     mcache_sizes=(8192, 32768, 131072, 262144, 524288, 1048576),
     message_sizes=(0, 512, 1024, 2048, 3072, 4096),
+    loss_rates=(0.0, 0.001, 0.005, 0.01, 0.02),
 )
 
 
@@ -122,102 +133,102 @@ def _chol15(scale: Scale) -> CholeskyConfig:
 
 # ------------------------------------------------------------- experiments --
 
-def exp_table1(scale: Scale) -> Result:
+def exp_table1(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Table 1: simulation parameters."""
     return table1_parameters()
 
 
-def exp_fig2(scale: Scale) -> Result:
+def exp_fig2(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 2: Jacobi speedup + hit ratio, small matrix."""
     return speedup_experiment("jacobi", scale.jacobi_small, scale.procs,
-                              name="fig2-jacobi-small")
+                              base_params=base, name="fig2-jacobi-small")
 
 
-def exp_fig3(scale: Scale) -> Result:
+def exp_fig3(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 3: Jacobi, medium matrix."""
     return speedup_experiment("jacobi", scale.jacobi_medium, scale.procs,
-                              name="fig3-jacobi-medium")
+                              base_params=base, name="fig3-jacobi-medium")
 
 
-def exp_fig4(scale: Scale) -> Result:
+def exp_fig4(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 4: Jacobi, large matrix."""
     return speedup_experiment("jacobi", scale.jacobi_large, scale.procs,
-                              name="fig4-jacobi-large")
+                              base_params=base, name="fig4-jacobi-large")
 
 
-def exp_fig5(scale: Scale) -> Result:
+def exp_fig5(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 5: Jacobi page-size sensitivity."""
     return page_size_experiment("jacobi", scale.jacobi_large,
                                 scale.page_sizes, scale.nprocs_fixed,
-                                name="fig5-jacobi-pagesize")
+                                base_params=base, name="fig5-jacobi-pagesize")
 
 
-def exp_table2(scale: Scale) -> Result:
+def exp_table2(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Table 2: Jacobi overhead breakdown."""
     return overhead_table_experiment("jacobi", scale.jacobi_large,
                                      scale.nprocs_fixed,
-                                     name="table2-jacobi-overhead")
+                                     base_params=base, name="table2-jacobi-overhead")
 
 
-def exp_fig6(scale: Scale) -> Result:
+def exp_fig6(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 6: Water speedup, small input."""
     return speedup_experiment("water", scale.water_small, scale.procs,
-                              name="fig6-water-small")
+                              base_params=base, name="fig6-water-small")
 
 
-def exp_fig7(scale: Scale) -> Result:
+def exp_fig7(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 7: Water, medium input."""
     return speedup_experiment("water", scale.water_medium, scale.procs,
-                              name="fig7-water-medium")
+                              base_params=base, name="fig7-water-medium")
 
 
-def exp_fig8(scale: Scale) -> Result:
+def exp_fig8(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 8: Water, large input."""
     return speedup_experiment("water", scale.water_large, scale.procs,
-                              name="fig8-water-large")
+                              base_params=base, name="fig8-water-large")
 
 
-def exp_fig9(scale: Scale) -> Result:
+def exp_fig9(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 9: Water page-size sensitivity."""
     return page_size_experiment("water", scale.water_medium,
                                 scale.page_sizes, scale.nprocs_fixed,
-                                name="fig9-water-pagesize")
+                                base_params=base, name="fig9-water-pagesize")
 
 
-def exp_table3(scale: Scale) -> Result:
+def exp_table3(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Table 3: Water overhead breakdown."""
     return overhead_table_experiment("water", scale.water_medium,
                                      scale.nprocs_fixed,
-                                     name="table3-water-overhead")
+                                     base_params=base, name="table3-water-overhead")
 
 
-def exp_fig10(scale: Scale) -> Result:
+def exp_fig10(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 10: Cholesky speedup, bcsstk14."""
     return speedup_experiment("cholesky", _chol14(scale), scale.procs,
-                              name="fig10-cholesky-bcsstk14")
+                              base_params=base, name="fig10-cholesky-bcsstk14")
 
 
-def exp_fig11(scale: Scale) -> Result:
+def exp_fig11(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 11: Cholesky speedup, bcsstk15."""
     return speedup_experiment("cholesky", _chol15(scale), scale.procs,
-                              name="fig11-cholesky-bcsstk15")
+                              base_params=base, name="fig11-cholesky-bcsstk15")
 
 
-def exp_fig12(scale: Scale) -> Result:
+def exp_fig12(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 12: Cholesky page-size sensitivity."""
     return page_size_experiment("cholesky", _chol14(scale),
                                 scale.page_sizes, scale.nprocs_fixed,
-                                name="fig12-cholesky-pagesize")
+                                base_params=base, name="fig12-cholesky-pagesize")
 
 
-def exp_table4(scale: Scale) -> Result:
+def exp_table4(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Table 4: Cholesky overhead breakdown."""
     return overhead_table_experiment("cholesky", _chol14(scale),
                                      scale.nprocs_fixed,
-                                     name="table4-cholesky-overhead")
+                                     base_params=base, name="table4-cholesky-overhead")
 
 
-def exp_fig13(scale: Scale) -> Result:
+def exp_fig13(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 13: hit ratio vs Message Cache size, three apps.
 
     Jacobi runs the small matrix: the paper observes that "a slight
@@ -235,15 +246,16 @@ def exp_fig13(scale: Scale) -> Result:
         },
         scale.mcache_sizes,
         scale.nprocs_fixed,
+        base_params=base,
     )
 
 
-def exp_fig14(scale: Scale) -> Result:
+def exp_fig14(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Figure 14: node-to-node latency microbenchmark."""
-    return latency_microbenchmark(scale.message_sizes)
+    return latency_microbenchmark(scale.message_sizes, base_params=base)
 
 
-def exp_table5(scale: Scale) -> Result:
+def exp_table5(scale: Scale, base: Optional[SimParams] = None) -> Result:
     """Table 5: unrestricted-cell-size improvement."""
     return unrestricted_cell_experiment(
         {
@@ -252,10 +264,21 @@ def exp_table5(scale: Scale) -> Result:
             "cholesky": _chol14(scale),
         },
         scale.nprocs_fixed,
+        base_params=base,
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[Scale], Result]] = {
+def exp_faults(scale: Scale, base: Optional[SimParams] = None) -> Result:
+    """Robustness extension: Jacobi under a seeded cell-loss sweep with
+    the reliable transport on, both interfaces (completion time, goodput
+    and retransmissions vs loss rate)."""
+    return fault_sweep_experiment("jacobi", scale.jacobi_small,
+                                  scale.loss_rates,
+                                  nprocs=min(scale.nprocs_fixed, 4),
+                                  base_params=base, name="faults-jacobi")
+
+
+EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "table1": exp_table1,
     "fig2": exp_fig2,
     "fig3": exp_fig3,
@@ -274,17 +297,21 @@ EXPERIMENTS: Dict[str, Callable[[Scale], Result]] = {
     "fig13": exp_fig13,
     "fig14": exp_fig14,
     "table5": exp_table5,
+    "faults": exp_faults,
 }
 
 
-def run_experiment(exp_id: str, scale: Scale = None) -> Result:
-    """Run one experiment by id."""
+def run_experiment(exp_id: str, scale: Scale = None,
+                   base_params: Optional[SimParams] = None) -> Result:
+    """Run one experiment by id.  ``base_params`` overrides the default
+    Table 1 configuration (the ``--fault-plan`` CLI path builds a base
+    with a fault plan and the reliable transport enabled)."""
     if exp_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {exp_id!r}; choose from "
             f"{sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[exp_id](scale or active_scale())
+    return EXPERIMENTS[exp_id](scale or active_scale(), base_params)
 
 
 def _take_option(argv: List[str], name: str) -> Optional[str]:
@@ -306,6 +333,20 @@ def main(argv: List[str] = None) -> int:
     svg_dir = _take_option(argv, "--svg")
     csv_dir = _take_option(argv, "--csv")
     metrics_dir = _take_option(argv, "--metrics")
+    fault_spec = _take_option(argv, "--fault-plan")
+    base_params = None
+    if fault_spec:
+        from ..faults import parse_fault_plan
+
+        try:
+            plan = parse_fault_plan(fault_spec)
+        except ValueError as exc:
+            print(exc)
+            return 1
+        base_params = SimParams().replace(fault_plan=plan,
+                                          reliable_transport=True)
+        print(f"fault plan: {base_params.fault_plan.describe()} "
+              f"(reliable transport on)")
     scale = PAPER if (full or os.environ.get("REPRO_FULL") == "1") else QUICK
     if not argv:
         print(__doc__)
@@ -320,7 +361,7 @@ def main(argv: List[str] = None) -> int:
         from .export import GLOBAL_METRICS_LOG
 
         GLOBAL_METRICS_LOG.clear()
-        result = run_experiment(exp_id, scale)
+        result = run_experiment(exp_id, scale, base_params)
         if isinstance(result, SeriesResult):
             print(format_series(result))
         else:

@@ -39,6 +39,11 @@ class PacketKind(enum.IntEnum):
     CONTROL = 4
     """Connection setup / teardown (kernel-mediated)."""
 
+    ACK = 5
+    """Reliable-transport acknowledgement, generated and consumed by the
+    NI processors themselves (never dispatched to the host; see
+    docs/reliability.md)."""
+
 
 FLAG_CACHEABLE = 0x01
 """Header flag: this buffer should be entered into the Message Cache
@@ -73,6 +78,16 @@ class Packet:
 
     dst_vaddr: Optional[int] = None
     """Receiver-side virtual address of the destination buffer."""
+
+    reliable: bool = True
+    """Whether the reliable transport (when enabled) tracks this packet;
+    ACKs and explicitly best-effort traffic opt out."""
+
+    rel_seq: Optional[int] = None
+    """Reliable-transport sequence number on the (src, dst, channel)
+    connection; assigned at first transmission, None for untracked
+    packets.  (Carried in the AAL5 user-to-user field on real hardware;
+    the 16-byte classification header is unchanged.)"""
 
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
@@ -144,6 +159,10 @@ class AtmCell:
     seq: int
     eop: bool
     payload_len: int
+    corrupt: bool = False
+    """Failure injection: payload damaged in transit.  The cell still
+    arrives (and costs SAR work) but the packet fails its AAL5 CRC at
+    end-of-packet."""
 
     def __post_init__(self):
         if not 0 <= self.payload_len:
@@ -165,13 +184,19 @@ class CellTrain:
     lost_cells: int = 0
     """Failure injection: number of cells dropped in transit."""
 
+    corrupted_cells: int = 0
+    """Failure injection: cells that arrived with damaged payloads
+    (packet fails its AAL5 CRC even though every cell is present)."""
+
     def __post_init__(self):
         if self.n_cells < 1:
             raise ValueError("a train carries at least one cell")
         if not 0 <= self.lost_cells <= self.n_cells:
             raise ValueError("lost more cells than the train carries")
+        if not 0 <= self.corrupted_cells <= self.n_cells - self.lost_cells:
+            raise ValueError("corrupted more cells than arrived")
 
     @property
     def intact(self) -> bool:
-        """Whether every cell arrived."""
-        return self.lost_cells == 0
+        """Whether every cell arrived undamaged."""
+        return self.lost_cells == 0 and self.corrupted_cells == 0

@@ -78,25 +78,37 @@ class ReassemblyStats:
     packets_ok: int = 0
     packets_dropped: int = 0
     cells_consumed: int = 0
+    partials_evicted: int = 0
+    """Incomplete packets abandoned (stale-partial timeout, capacity
+    eviction or explicit abort); each is also a ``packets_dropped``."""
 
 
 class Reassembler:
     """Receive-side AAL5 reassembly with integrity checking.
 
     Two input forms mirror the segmenter: a :class:`CellTrain` (fast
-    path: intact unless cells were marked lost) and a raw cell list
-    (tests / loss / reordering).  AAL5 has no per-cell sequence numbers —
-    a length/CRC mismatch at end-of-packet drops the whole packet, which
-    is what we model.
+    path: intact unless cells were marked lost or corrupted) and a raw
+    cell list (tests / loss / reordering).  AAL5 has no per-cell
+    sequence numbers — a length/CRC mismatch at end-of-packet drops the
+    whole packet, which is what we model.
+
+    A partial packet whose end-of-packet cell never arrives (its tail
+    was dropped in transit) would otherwise sit in the reassembly map
+    forever; passing ``now`` to :meth:`accept_cell` ages such partials
+    out after ``params.reassembly_timeout_ns``, and ``max_partials``
+    bounds the map against pathological interleaving.
     """
 
-    def __init__(self, params: SimParams):
+    def __init__(self, params: SimParams, max_partials: int = 256):
         self.params = params
+        self.max_partials = max_partials
         self.stats = ReassemblyStats()
         self._partial: Dict[Tuple[int, int], List[AtmCell]] = {}
+        #: last cell-arrival time per partial (same keys as _partial)
+        self._last_cell_ns: Dict[Tuple[int, int], float] = {}
 
     def accept_train(self, train: CellTrain) -> Optional[Packet]:
-        """Reassemble a batched train; None if any cell was lost."""
+        """Reassemble a batched train; None unless it arrived intact."""
         self.stats.cells_consumed += train.n_cells - train.lost_cells
         if not train.intact:
             self.stats.packets_dropped += 1
@@ -104,19 +116,27 @@ class Reassembler:
         self.stats.packets_ok += 1
         return train.packet
 
-    def accept_cell(self, cell: AtmCell, packet: Packet) -> Optional[Packet]:
+    def accept_cell(self, cell: AtmCell, packet: Packet,
+                    now: Optional[float] = None) -> Optional[Packet]:
         """Feed one cell; returns the packet when it completes.
 
         ``packet`` is the simulation-side object the cells refer to (the
         model does not serialize payload bytes into cells); identity is
-        checked via ``packet_id``.
+        checked via ``packet_id``.  ``now`` (simulated time) enables
+        stale-partial eviction; callers without a clock may omit it.
         """
         key = (cell.vci, cell.packet_id)
+        if key not in self._partial and len(self._partial) >= self.max_partials:
+            self._evict(next(iter(self._partial)))
         self._partial.setdefault(key, []).append(cell)
         self.stats.cells_consumed += 1
+        if now is not None:
+            self._last_cell_ns[key] = now
+            self._evict_stale(now)
         if not cell.eop:
             return None
         cells = self._partial.pop(key)
+        self._last_cell_ns.pop(key, None)
         expected = self.params.cells_for_packet(packet.wire_bytes)
         seqs = [c.seq for c in cells]
         if len(cells) != expected or sorted(seqs) != list(range(expected)):
@@ -128,8 +148,34 @@ class Reassembler:
             # broken — drop and count, don't crash the simulation.
             self.stats.packets_dropped += 1
             return None
+        if any(c.corrupt for c in cells):
+            # Every cell present, but a payload was damaged in transit:
+            # the AAL5 CRC over the reassembled packet fails.
+            self.stats.packets_dropped += 1
+            return None
         self.stats.packets_ok += 1
         return packet
+
+    def abort(self, vci: int, packet_id: int) -> bool:
+        """Explicitly abandon a partial packet; True if one existed."""
+        key = (vci, packet_id)
+        if key not in self._partial:
+            return False
+        self._evict(key)
+        return True
+
+    def _evict(self, key: Tuple[int, int]) -> None:
+        del self._partial[key]
+        self._last_cell_ns.pop(key, None)
+        self.stats.packets_dropped += 1
+        self.stats.partials_evicted += 1
+
+    def _evict_stale(self, now: float) -> None:
+        deadline = now - self.params.reassembly_timeout_ns
+        stale = [key for key, last in self._last_cell_ns.items()
+                 if last < deadline]
+        for key in stale:
+            self._evict(key)
 
     def pending_packets(self) -> int:
         """Packets with cells buffered but no end-of-packet yet."""

@@ -15,6 +15,8 @@ from one node (DESIGN.md documents this approximation).
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..engine import Mailbox, Simulator
@@ -42,12 +44,67 @@ class Network:
         ]
         self.trains_delivered = 0
         self.cells_delivered = 0
-        self.loss_injector: Optional[Callable[[CellTrain], int]] = None
-        """Failure injection hook: returns how many cells of a train to
-        drop in transit (tests exercise AAL5 drop handling with this)."""
-        self.cell_loss_injector: Optional[Callable[[AtmCell, Packet], bool]] = None
-        """Per-cell failure injection (per-cell transport mode): return
-        True to drop this cell in transit."""
+        #: Runtime fault evaluator (repro.faults); None on a clean fabric
+        #: with no legacy injectors either.
+        self.active_faults = (
+            params.fault_plan.activate(params.num_processors)
+            if params.fault_plan is not None else None
+        )
+        self._legacy_loss_injector: Optional[Callable[[CellTrain], int]] = None
+        self._legacy_cell_loss_injector: Optional[
+            Callable[[AtmCell, Packet], bool]] = None
+
+    # -- fault injection ------------------------------------------------------
+    def _faults(self):
+        """The active fault evaluator, created on demand (legacy shims
+        attach their callables to an otherwise-empty plan)."""
+        if self.active_faults is None:
+            from ..faults import FaultPlan
+
+            self.active_faults = FaultPlan().activate(
+                self.params.num_processors)
+        return self.active_faults
+
+    @property
+    def loss_injector(self) -> Optional[Callable[[CellTrain], int]]:
+        """Deprecated: returns how many cells of a train to drop in
+        transit.  Use a :class:`repro.faults.FaultPlan` instead."""
+        return self._legacy_loss_injector
+
+    @loss_injector.setter
+    def loss_injector(self, fn: Optional[Callable[[CellTrain], int]]) -> None:
+        warnings.warn(
+            "Network.loss_injector is deprecated; pass a repro.faults."
+            "FaultPlan via SimParams.fault_plan", DeprecationWarning,
+            stacklevel=2)
+        self._legacy_loss_injector = fn
+        self._faults().set_legacy_train_injector(fn)
+
+    @property
+    def cell_loss_injector(self) -> Optional[Callable[[AtmCell, Packet], bool]]:
+        """Deprecated: per-cell injector (per-cell transport mode);
+        return True to drop a cell.  Use a FaultPlan instead."""
+        return self._legacy_cell_loss_injector
+
+    @cell_loss_injector.setter
+    def cell_loss_injector(
+            self, fn: Optional[Callable[[AtmCell, Packet], bool]]) -> None:
+        warnings.warn(
+            "Network.cell_loss_injector is deprecated; pass a repro.faults."
+            "FaultPlan via SimParams.fault_plan", DeprecationWarning,
+            stacklevel=2)
+        self._legacy_cell_loss_injector = fn
+        self._faults().set_legacy_cell_injector(fn)
+
+    def fault_cells_dropped(self, node: int) -> int:
+        """Cells the fault plan dropped en route to ``node``."""
+        f = self.active_faults
+        return f.cells_dropped[node] if f is not None else 0
+
+    def fault_cells_corrupted(self, node: int) -> int:
+        """Cells the fault plan corrupted en route to ``node``."""
+        f = self.active_faults
+        return f.cells_corrupted[node] if f is not None else 0
 
     def send_train(self, train: CellTrain) -> None:
         """Launch a train asynchronously (fire-and-forget from the NIC)."""
@@ -62,10 +119,16 @@ class Network:
             p.src_node, p.dst_node, train.n_cells, p.wire_bytes
         )
         yield self.params.wire_latency_ns
-        if self.loss_injector is not None:
-            lost = self.loss_injector(train)
-            if lost:
-                train = CellTrain(train.packet, train.n_cells, lost_cells=lost)
+        faults = self.active_faults
+        if faults is not None:
+            stall = faults.stall_ns(p.dst_node, self.sim.now)
+            if stall > 0:
+                yield stall
+            lost, corrupted = faults.train_faults(train, self.sim.now)
+            if lost or corrupted:
+                train = CellTrain(train.packet, train.n_cells,
+                                  lost_cells=min(lost, train.n_cells),
+                                  corrupted_cells=corrupted)
         self.trains_delivered += 1
         self.rx_queues[p.dst_node].put(train)
         return None
@@ -91,11 +154,19 @@ class Network:
             packet.src_node, packet.dst_node, len(cells), packet.wire_bytes
         )
         yield self.params.wire_latency_ns
+        faults = self.active_faults
+        if faults is not None:
+            stall = faults.stall_ns(packet.dst_node, self.sim.now)
+            if stall > 0:
+                yield stall
         rx = self.rx_queues[packet.dst_node]
         for cell in cells:
-            if self.cell_loss_injector is not None and \
-                    self.cell_loss_injector(cell, packet):
-                continue
+            if faults is not None:
+                fate = faults.cell_fate(cell, packet, self.sim.now)
+                if fate == "drop":
+                    continue
+                if fate == "corrupt":
+                    cell = dataclasses.replace(cell, corrupt=True)
             self.cells_delivered += 1
             rx.put((cell, packet))
         return None

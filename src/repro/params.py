@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any, Optional
 
 
 NS_PER_SEC = 1_000_000_000
@@ -193,6 +194,38 @@ class SimParams:
     diffs (the concurrent-write-sharing case the paper credits for
     Cholesky)."""
 
+    # --------------------------------------------- reliability + fault model
+    reliable_transport: bool = False
+    """NIC-resident reliable delivery on the ADC send path: per-connection
+    sequence numbers, timeout-driven retransmission with exponential
+    backoff, duplicate/reorder suppression and per-packet acks (see
+    docs/reliability.md).  Off by default: the paper's fabric is
+    loss-free and the protocol's acks would perturb its timings."""
+
+    reliab_timeout_ns: float = 500_000.0
+    """Initial retransmission timeout.  Several times the uncontended
+    round trip (~60 us each way at Table 1 speeds), so only genuine loss
+    — not switch contention — fires the timer."""
+
+    reliab_backoff: float = 2.0
+    """Multiplier applied to the timeout after every retransmission of
+    the same packet (>= 1)."""
+
+    reliab_max_attempts: int = 10
+    """Retry budget per packet: after this many transmissions without an
+    ack the transport raises :class:`~repro.core.DeliveryFailed` instead
+    of hanging the run."""
+
+    reassembly_timeout_ns: float = 5_000_000.0
+    """Receive-side SAR eviction: a partial packet whose cells stop
+    arriving for this long is aborted and counted as dropped (the
+    reassembly-map leak fix; per-cell transport mode)."""
+
+    fault_plan: Optional[Any] = None
+    """A :class:`repro.faults.FaultPlan` applied by the fabric, or None
+    for a loss-free network.  (Typed loosely to keep ``repro.params``
+    import-cycle-free; validated structurally.)"""
+
     # --------------------------------------------------------------- cluster
     num_processors: int = 8
     """Workstations in the cluster (one application thread per node)."""
@@ -339,6 +372,21 @@ class SimParams:
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        for name in ("reliab_timeout_ns", "reassembly_timeout_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.reliab_backoff < 1.0:
+            raise ValueError("reliab_backoff must be >= 1 (timeouts never shrink)")
+        if self.reliab_max_attempts < 1:
+            raise ValueError("reliab_max_attempts must allow at least one send")
+        if self.fault_plan is not None:
+            validate = getattr(self.fault_plan, "validate", None)
+            activate = getattr(self.fault_plan, "activate", None)
+            if validate is None or activate is None:
+                raise ValueError(
+                    "fault_plan must be a repro.faults.FaultPlan "
+                    "(needs validate() and activate())")
+            validate()
 
     def __post_init__(self):
         self.validate()

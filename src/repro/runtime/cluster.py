@@ -73,6 +73,15 @@ class Cluster:
         self.metrics.add_probe(self._sync_cluster_counters)
 
         self.network = Network(self.sim, params)
+        # Fault-injection damage per destination node (zero on a clean
+        # fabric; registered unconditionally so the catalog is stable).
+        net = self.network
+        for i in range(params.num_processors):
+            fscope = self.metrics.scope(f"node{i}.faults")
+            fscope.counter("cells_dropped",
+                           fn=lambda i=i: net.fault_cells_dropped(i))
+            fscope.counter("cells_corrupted",
+                           fn=lambda i=i: net.fault_cells_corrupted(i))
         self.asp = AddressSpace(
             page_size=params.page_size_bytes,
             dsm_pages=params.dsm_address_space_pages,

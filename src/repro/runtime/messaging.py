@@ -6,6 +6,12 @@ Channels are fundamentally a message-passing primitive (and the Figure 14
 microbenchmark measures exactly this path).  :class:`MessagingService`
 packages the buffer-management protocol an application needs: register
 send/receive buffers, keep the free queue stocked (CNI), send, receive.
+
+With ``reliable_transport`` on, sends are tracked by the NIC-resident
+transport (docs/reliability.md): ``send`` still returns when the board
+has consumed the descriptor, while acknowledgement and retransmission
+proceed on the board; :meth:`MessagingService.unacked_sends` exposes
+how many of this node's packets are still in flight.
 """
 
 from __future__ import annotations
@@ -69,6 +75,11 @@ class MessagingService:
             ch = mgr.get(self.node.dsm_channel_id)
             ch.post_free_buffer(desc.vaddr, self.buffer_bytes)
         return desc
+
+    def unacked_sends(self) -> int:
+        """Packets this node sent that the reliable transport has not
+        yet seen acknowledged (always 0 with the transport disabled)."""
+        return self.node.nic.reliab.outstanding()
 
     def touch_send_buffer(self, nbytes: int) -> Generator:
         """Simulate the application writing the message contents (dirties

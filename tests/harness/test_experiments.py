@@ -18,7 +18,7 @@ from repro.harness import (
 def test_registry_covers_every_table_and_figure():
     expected = {f"fig{i}" for i in range(2, 15)} | {
         f"table{i}" for i in range(1, 6)
-    }
+    } | {"faults"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -69,6 +69,33 @@ def test_unrestricted_cell_tiny():
         {"jacobi": JacobiConfig(n=32, iterations=3)}, nprocs=2
     )
     assert t.cell("jacobi", "pct_improvement") > 0
+
+
+def test_fault_sweep_tiny():
+    from repro.harness import fault_sweep_experiment
+
+    r = fault_sweep_experiment(
+        "jacobi", JacobiConfig(n=32, iterations=2), loss_rates=(0.0, 0.02),
+        nprocs=2, name="tiny-faults",
+    )
+    assert r.x_label == "cell_loss_rate"
+    assert r.xs == [0.0, 0.02]
+    for iface in ("cni", "standard"):
+        clean, lossy = r.get(f"{iface}_retransmits")
+        assert clean == 0 and lossy > 0
+        assert all(g > 0 for g in r.get(f"{iface}_goodput_mbps"))
+        assert r.get(f"{iface}_completion_ms")[1] > \
+            r.get(f"{iface}_completion_ms")[0]
+
+
+def test_runner_cli_fault_plan_option(capsys):
+    from repro.harness.runner import main
+
+    rc = main(["faults", "--fault-plan", "seed=7;cell_loss(rate=0.002)"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fault plan:" in out
+    assert "CellLoss" in out
 
 
 def test_quick_scale_is_quick():

@@ -116,6 +116,72 @@ def test_interleaved_packets_reassemble_independently():
     assert got == [p1, p2]
 
 
+def test_stale_partial_evicted_after_timeout():
+    params = SimParams()
+    seg, rea = Segmenter(params), Reassembler(params)
+    p1, p2 = packet(500), packet(500)
+    # p1's tail is lost in transit: its head sits in the reassembly map.
+    rea.accept_cell(seg.segment(p1)[0], p1, now=0.0)
+    assert rea.pending_packets() == 1
+    # Much later, p2 flows through cleanly and ages the stale partial out.
+    late = params.reassembly_timeout_ns + 1.0
+    for c in seg.segment(p2):
+        out = rea.accept_cell(c, p2, now=late)
+    assert out is p2
+    assert rea.pending_packets() == 0
+    assert rea.stats.partials_evicted == 1
+    assert rea.stats.packets_dropped == 1
+
+
+def test_capacity_eviction_drops_oldest_partial():
+    params = SimParams()
+    seg, rea = Segmenter(params), Reassembler(params, max_partials=2)
+    packets = [packet(500) for _ in range(3)]
+    for p in packets:
+        rea.accept_cell(seg.segment(p)[0], p)  # three open partials
+    assert rea.pending_packets() == 2
+    assert rea.stats.partials_evicted == 1
+    # the survivors are the two newest; the oldest can no longer complete
+    for c in seg.segment(packets[2])[1:]:
+        out = rea.accept_cell(c, packets[2])
+    assert out is packets[2]
+
+
+def test_abort_discards_partial():
+    params = SimParams()
+    seg, rea = Segmenter(params), Reassembler(params)
+    p = packet(500)
+    cells = seg.segment(p)
+    rea.accept_cell(cells[0], p)
+    assert rea.abort(p.channel_id, p.packet_id)
+    assert not rea.abort(p.channel_id, p.packet_id)  # already gone
+    assert rea.pending_packets() == 0
+    assert rea.stats.partials_evicted == 1
+
+
+def test_corrupt_cell_fails_crc_at_eop():
+    import dataclasses
+
+    params = SimParams()
+    seg, rea = Segmenter(params), Reassembler(params)
+    p = packet(500)
+    cells = seg.segment(p)
+    cells[1] = dataclasses.replace(cells[1], corrupt=True)
+    result = None
+    for c in cells:
+        result = rea.accept_cell(c, p)
+    assert result is None
+    assert rea.stats.packets_dropped == 1
+
+
+def test_corrupt_train_dropped():
+    params = SimParams()
+    rea = Reassembler(params)
+    out = rea.accept_train(CellTrain(packet(4096), 86, corrupted_cells=1))
+    assert out is None
+    assert rea.stats.packets_dropped == 1
+
+
 @given(size=st.integers(0, 20000))
 @settings(max_examples=60, deadline=None)
 def test_segment_reassemble_roundtrip_property(size):

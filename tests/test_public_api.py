@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.apps",
     "repro.harness",
+    "repro.faults",
 ]
 
 
@@ -53,4 +54,4 @@ def test_apps_expose_run_helpers():
 def test_harness_exposes_every_experiment():
     from repro.harness import EXPERIMENTS
 
-    assert len(EXPERIMENTS) == 18  # 13 figures + 5 tables
+    assert len(EXPERIMENTS) == 19  # 13 figures + 5 tables + faults sweep

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Run the chaos suite: full workloads under seeded fault plans.
+#
+# These tests exercise the reliable transport end to end (lossy Jacobi
+# and barrier workloads, duplicate suppression, Message-Cache hits on
+# retransmission, retry-budget failures) and are marked `chaos` so they
+# can be invoked separately from the unit suite:
+#
+#   tools/run_chaos.sh            # just the chaos tests
+#   tools/run_chaos.sh -x -vv     # extra pytest flags pass through
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -m pytest -m chaos "$@"

@@ -11,7 +11,7 @@ Public surface:
 * :class:`Tracer` — optional bounded tracing.
 """
 
-from .event_queue import EventHandle, EventQueue
+from .event_queue import EmptyQueueError, EventHandle, EventQueue
 from .resources import Gate, Mailbox, Resource
 from .simulator import Event, Interrupt, Process, SimulationError, Simulator
 from .stats import Category, Counters, RunStats, TimeAccount
@@ -20,6 +20,7 @@ from .trace import GLOBAL_TRACER, TraceRecord, Tracer
 __all__ = [
     "Category",
     "Counters",
+    "EmptyQueueError",
     "Event",
     "EventHandle",
     "EventQueue",

@@ -17,6 +17,18 @@ class Cancelled(Exception):
     """Raised internally when a cancelled entry is popped."""
 
 
+class EmptyQueueError(IndexError):
+    """The pending-event set is empty.
+
+    Raised by :meth:`EventQueue.pop` and :meth:`EventQueue.peek_time`
+    with a message naming the operation that hit the empty queue, so a
+    traceback distinguishes "peeked past the end of the simulation" from
+    "popped a queue a callback just drained".  Subclasses
+    :class:`IndexError`, which is what callers historically caught (the
+    simulator's main loop treats it as end-of-simulation).
+    """
+
+
 class EventHandle:
     """Handle returned by :meth:`EventQueue.push`; supports cancellation."""
 
@@ -63,23 +75,29 @@ class EventQueue:
     def peek_time(self) -> float:
         """Time of the earliest live event.
 
-        Raises :class:`IndexError` when the queue is empty.  Cancelled
-        entries are skimmed off lazily.
+        Raises :class:`EmptyQueueError` when the queue is empty.
+        Cancelled entries are skimmed off lazily.
         """
-        self._skim()
+        self._skim("peek_time")
         return self._heap[0][0]
 
     def pop(self) -> Tuple[float, Callable[[], None]]:
-        """Remove and return ``(time, callback)`` of the earliest event."""
-        self._skim()
+        """Remove and return ``(time, callback)`` of the earliest event.
+
+        Raises :class:`EmptyQueueError` when the queue is empty (which
+        can happen even after a successful :meth:`peek_time` if every
+        remaining entry was cancelled in between).
+        """
+        self._skim("pop")
         time, _prio, _seq, handle = heapq.heappop(self._heap)
         callback = handle.callback
         assert callback is not None
         handle.callback = None
         return time, callback
 
-    def _skim(self) -> None:
+    def _skim(self, operation: str) -> None:
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         if not self._heap:
-            raise IndexError("event queue is empty")
+            raise EmptyQueueError(
+                f"EventQueue.{operation}() on an empty event queue")

@@ -17,6 +17,14 @@ from .experiments import (
     unrestricted_cell_experiment,
 )
 from .export import GLOBAL_METRICS_LOG, MetricsLog, to_csv, to_json, write_result
+from .parallel import (
+    RunSpec,
+    default_jobs,
+    execute_run,
+    merge_run_metrics,
+    run_map,
+    set_default_jobs,
+)
 from .report import ascii_plot, format_series, format_table
 from .svgplot import render_series_svg
 from .sweeps import sweep_param
@@ -29,22 +37,28 @@ __all__ = [
     "MetricsLog",
     "PAPER",
     "QUICK",
+    "RunSpec",
     "Scale",
     "SeriesResult",
     "TableResult",
     "active_scale",
     "ascii_plot",
     "bandwidth_microbenchmark",
+    "default_jobs",
+    "execute_run",
     "fault_sweep_experiment",
     "format_series",
     "format_table",
     "latency_microbenchmark",
+    "merge_run_metrics",
     "message_cache_size_experiment",
     "one_way_latency_ns",
     "overhead_table_experiment",
     "page_size_experiment",
     "render_series_svg",
     "run_experiment",
+    "run_map",
+    "set_default_jobs",
     "speedup_experiment",
     "sweep_param",
     "table1_parameters",

@@ -1,11 +1,11 @@
 """Paper-vs-measured comparison: parse harness output, render EXPERIMENTS.md.
 
-Workflow::
+Workflow (the runner writes these files itself; see ``--results``)::
 
-    python -m repro.harness all > quick_scale_results.txt
-    REPRO_FULL=1 python -m repro.harness all > paper_scale_results.txt
-    python -m repro.harness.compare quick_scale_results.txt \
-        paper_scale_results.txt > EXPERIMENTS.md
+    python -m repro.harness all              # -> results/quick_scale_results.txt
+    REPRO_FULL=1 python -m repro.harness all # -> results/paper_scale_results.txt
+    python -m repro.harness.compare results/quick_scale_results.txt \
+        results/paper_scale_results.txt > EXPERIMENTS.md
 
 The parser reads back the text format :mod:`repro.harness.report` emits,
 so the comparison document is regenerable from the same artifacts a user
@@ -253,10 +253,13 @@ def render_experiments_md(
     out.append(
         "\n## Raw data\n\n"
         "The per-point numbers behind every verdict are in "
-        "`quick_scale_results.txt` and `paper_scale_results.txt` at the "
-        "repository root (regenerate with `python -m repro.harness all` "
-        "and `REPRO_FULL=1 python -m repro.harness all`).  SVG renderings "
-        "of any figure: `python -m repro.harness figN --svg out/`.\n"
+        "`results/quick_scale_results.txt` and "
+        "`results/paper_scale_results.txt` (regenerate with "
+        "`python -m repro.harness all` and `REPRO_FULL=1 python -m "
+        "repro.harness all`; add `--jobs N` to fan the grid across "
+        "cores — see [docs/parallel_runs.md](docs/parallel_runs.md)).  "
+        "SVG renderings of any figure: "
+        "`python -m repro.harness figN --svg out/`.\n"
     )
     out.append("")
     return "\n".join(out)

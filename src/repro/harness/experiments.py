@@ -8,48 +8,36 @@ paper-sized sweeps — see benchmarks/README note in EXPERIMENTS.md).
 Speedups are computed the way the paper computes them: execution time on
 one processor of the *same* cluster type divided by execution time on P
 processors.
+
+Every grid-shaped experiment builds its runs as
+:class:`~repro.harness.parallel.RunSpec` lists and executes them through
+:func:`~repro.harness.parallel.run_map`, so they fan out across worker
+processes under ``--jobs N`` while producing bit-identical results (see
+docs/parallel_runs.md).  The two microbenchmarks
+(:func:`latency_microbenchmark`, :func:`bandwidth_microbenchmark`) stay
+in-process: their kernels are ad-hoc closures over a marks dict, which
+is exactly the non-picklable shape the executor refuses.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from ..apps import (
-    CholeskyConfig,
-    JacobiConfig,
-    WaterConfig,
-    bcsstk14_like,
-    bcsstk15_like,
-    run_cholesky,
-    run_jacobi,
-    run_water,
-)
-from ..apps.matrices import BandedSPD
 from ..engine import RunStats
 from ..faults import CellLoss, FaultPlan
 from ..obs import aggregate_nodes
 from ..params import SimParams
 from ..runtime import Cluster, MessagingService
 from .export import GLOBAL_METRICS_LOG
+from .parallel import RunSpec, run_map
 from .results import SeriesResult, TableResult
 
 DEFAULT_PROCS = (1, 2, 4, 8, 16, 32)
 
 
 def _run_app(app: str, params: SimParams, interface: str, workload) -> RunStats:
-    if app == "jacobi":
-        stats = run_jacobi(params, interface, workload)[0]
-    elif app == "water":
-        stats = run_water(params, interface, workload)[0]
-    elif app == "cholesky":
-        stats = run_cholesky(params, interface, workload)[0]
-    else:
-        raise ValueError(f"unknown app {app!r}")
-    GLOBAL_METRICS_LOG.record(app, interface, params.num_processors,
-                              stats.metrics)
-    return stats
+    """Run one point in-process and record it (single-run convenience)."""
+    return run_map([RunSpec(app, params, interface, workload)], jobs=1)[0]
 
 
 def speedup_experiment(
@@ -58,6 +46,7 @@ def speedup_experiment(
     procs: Sequence[int] = DEFAULT_PROCS,
     base_params: Optional[SimParams] = None,
     name: str = "",
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Figures 2-4, 6-8, 10-11: speedup + network cache hit ratio vs
     processor count, CNI and standard."""
@@ -67,20 +56,23 @@ def speedup_experiment(
         x_label="processors",
         xs=[float(p) for p in procs],
     )
-    t1: Dict[str, float] = {}
-    for iface in ("cni", "standard"):
-        p1 = base.replace(num_processors=1)
-        t1[iface] = _run_app(app, p1, iface, workload).elapsed_ns
-    for p in procs:
-        for iface in ("cni", "standard"):
-            params = base.replace(num_processors=int(p))
-            stats = _run_app(app, params, iface, workload)
-            result.add_point(f"{iface}_speedup", t1[iface] / stats.elapsed_ns)
-            if iface == "cni":
-                result.add_point(
-                    "network_cache_hit_ratio",
-                    100.0 * stats.network_cache_hit_ratio,
-                )
+    specs = [RunSpec(app, base.replace(num_processors=1), iface, workload)
+             for iface in ("cni", "standard")]
+    specs += [RunSpec(app, base.replace(num_processors=int(p)), iface,
+                      workload)
+              for p in procs for iface in ("cni", "standard")]
+    runs = run_map(specs, jobs=jobs)
+    t1: Dict[str, float] = {
+        "cni": runs[0].elapsed_ns, "standard": runs[1].elapsed_ns,
+    }
+    for spec, stats in zip(specs[2:], runs[2:]):
+        iface = spec.interface
+        result.add_point(f"{iface}_speedup", t1[iface] / stats.elapsed_ns)
+        if iface == "cni":
+            result.add_point(
+                "network_cache_hit_ratio",
+                100.0 * stats.network_cache_hit_ratio,
+            )
     result.validate()
     return result
 
@@ -92,6 +84,7 @@ def page_size_experiment(
     nprocs: int = 8,
     base_params: Optional[SimParams] = None,
     name: str = "",
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Figures 5, 9, 12: speedup sensitivity to shared page size.
 
@@ -104,16 +97,18 @@ def page_size_experiment(
         x_label="page_size_bytes",
         xs=[float(s) for s in page_sizes],
     )
+    specs = []
     for size in page_sizes:
         for iface in ("cni", "standard"):
             sized = base.replace(page_size_bytes=int(size))
-            t1 = _run_app(
-                app, sized.replace(num_processors=1), iface, workload
-            ).elapsed_ns
-            tp = _run_app(
-                app, sized.replace(num_processors=nprocs), iface, workload
-            ).elapsed_ns
-            result.add_point(f"{iface}_speedup", t1 / tp)
+            specs.append(RunSpec(app, sized.replace(num_processors=1),
+                                 iface, workload))
+            specs.append(RunSpec(app, sized.replace(num_processors=nprocs),
+                                 iface, workload))
+    runs = run_map(specs, jobs=jobs)
+    for spec, t1_stats, tp_stats in zip(specs[::2], runs[::2], runs[1::2]):
+        result.add_point(f"{spec.interface}_speedup",
+                         t1_stats.elapsed_ns / tp_stats.elapsed_ns)
     result.validate()
     return result
 
@@ -124,6 +119,7 @@ def overhead_table_experiment(
     nprocs: int = 8,
     base_params: Optional[SimParams] = None,
     name: str = "",
+    jobs: Optional[int] = None,
 ) -> TableResult:
     """Tables 2-4: synch overhead / synch delay / computation / total,
     in CPU cycles summed over the processors, CNI vs standard."""
@@ -132,11 +128,12 @@ def overhead_table_experiment(
         name=name or f"{app}-overhead",
         columns=["time_cni_cycles", "time_standard_cycles"],
     )
-    tables = {}
-    for iface in ("cni", "standard"):
-        params = base.replace(num_processors=nprocs)
-        stats = _run_app(app, params, iface, workload)
-        tables[iface] = stats.overhead_table(params.cpu_freq_hz)
+    params = base.replace(num_processors=nprocs)
+    specs = [RunSpec(app, params, iface, workload)
+             for iface in ("cni", "standard")]
+    runs = run_map(specs, jobs=jobs)
+    tables = {spec.interface: stats.overhead_table(params.cpu_freq_hz)
+              for spec, stats in zip(specs, runs)}
     for row in ("synch_overhead", "synch_delay", "computation", "total"):
         result.add_row(row, [tables["cni"][row], tables["standard"][row]])
     return result
@@ -147,6 +144,7 @@ def message_cache_size_experiment(
     cache_sizes: Sequence[int],
     nprocs: int = 8,
     base_params: Optional[SimParams] = None,
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Figure 13: network cache hit ratio vs Message Cache size for the
     8-processor versions of the three applications."""
@@ -156,13 +154,15 @@ def message_cache_size_experiment(
         x_label="message_cache_bytes",
         xs=[float(s) for s in cache_sizes],
     )
-    for size in cache_sizes:
-        for app, workload in workloads.items():
-            params = base.replace(
-                num_processors=nprocs, message_cache_bytes=int(size)
-            )
-            stats = _run_app(app, params, "cni", workload)
-            result.add_point(app, 100.0 * stats.network_cache_hit_ratio)
+    specs = [
+        RunSpec(app, base.replace(num_processors=nprocs,
+                                  message_cache_bytes=int(size)),
+                "cni", workload)
+        for size in cache_sizes for app, workload in workloads.items()
+    ]
+    runs = run_map(specs, jobs=jobs)
+    for spec, stats in zip(specs, runs):
+        result.add_point(spec.app, 100.0 * stats.network_cache_hit_ratio)
     result.validate()
     return result
 
@@ -280,6 +280,7 @@ def unrestricted_cell_experiment(
     workloads: Dict[str, object],
     nprocs: int = 8,
     base_params: Optional[SimParams] = None,
+    jobs: Optional[int] = None,
 ) -> TableResult:
     """Table 5: % execution-time improvement for the CNI cluster when
     the ATM's 53-byte cell becomes unlimited (no SAR overhead)."""
@@ -288,14 +289,16 @@ def unrestricted_cell_experiment(
         name="unrestricted-cell",
         columns=["pct_improvement"],
     )
+    params = base.replace(num_processors=nprocs)
+    specs = []
     for app, workload in workloads.items():
-        params = base.replace(num_processors=nprocs)
-        with_cells = _run_app(app, params, "cni", workload)
-        no_cells = _run_app(
-            app, params.replace(unrestricted_cell_size=True), "cni", workload
-        )
+        specs.append(RunSpec(app, params, "cni", workload))
+        specs.append(RunSpec(app, params.replace(unrestricted_cell_size=True),
+                             "cni", workload))
+    runs = run_map(specs, jobs=jobs)
+    for spec, with_cells, no_cells in zip(specs[::2], runs[::2], runs[1::2]):
         pct = 100.0 * (1.0 - no_cells.elapsed_ns / with_cells.elapsed_ns)
-        result.add_row(app, [pct])
+        result.add_row(spec.app, [pct])
     return result
 
 
@@ -307,6 +310,7 @@ def fault_sweep_experiment(
     seed: int = 90,
     base_params: Optional[SimParams] = None,
     name: str = "",
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Robustness extension (not a paper figure): completion time,
     goodput and retransmission work vs seeded cell-loss rate, with the
@@ -322,6 +326,7 @@ def fault_sweep_experiment(
         x_label="cell_loss_rate",
         xs=[float(r) for r in loss_rates],
     )
+    specs = []
     for rate in loss_rates:
         plan = (FaultPlan(seed=seed, schedules=(CellLoss(rate=float(rate)),))
                 if rate > 0 else base.fault_plan)
@@ -329,16 +334,20 @@ def fault_sweep_experiment(
                               reliable_transport=True,
                               fault_plan=plan)
         for iface in ("cni", "standard"):
-            stats = _run_app(app, params, iface, workload)
-            agg = aggregate_nodes(stats.metrics)
-            payload = agg.get("nic.rx.payload_bytes", 0.0)
-            seconds = stats.elapsed_ns / 1e9
-            result.add_point(f"{iface}_completion_ms", stats.elapsed_ns / 1e6)
-            result.add_point(
-                f"{iface}_goodput_mbps",
-                payload * 8 / seconds / 1e6 if seconds > 0 else 0.0)
-            result.add_point(f"{iface}_retransmits",
-                             agg.get("nic.reliab.retransmits", 0.0))
+            specs.append(RunSpec(app, params, iface, workload,
+                                 meta=(("cell_loss_rate", float(rate)),)))
+    runs = run_map(specs, jobs=jobs)
+    for spec, stats in zip(specs, runs):
+        iface = spec.interface
+        agg = aggregate_nodes(stats.metrics)
+        payload = agg.get("nic.rx.payload_bytes", 0.0)
+        seconds = stats.elapsed_ns / 1e9
+        result.add_point(f"{iface}_completion_ms", stats.elapsed_ns / 1e6)
+        result.add_point(
+            f"{iface}_goodput_mbps",
+            payload * 8 / seconds / 1e6 if seconds > 0 else 0.0)
+        result.add_point(f"{iface}_retransmits",
+                         agg.get("nic.reliab.retransmits", 0.0))
     result.validate()
     return result
 

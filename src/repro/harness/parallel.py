@@ -1,0 +1,209 @@
+"""Parallel execution of independent simulation runs.
+
+Every experiment in this harness is a grid of *independent* simulated
+cluster runs (interface x parameter value x processor count).  The runs
+share nothing at runtime — each builds its own :class:`~repro.runtime.Cluster`
+— so they fan out across a process pool the way Balsam fans independent
+jobs across a pilot allocation, with one hard requirement on top:
+**bit-for-bit determinism**.  A sweep executed with ``--jobs 8`` must
+produce exactly the per-point :meth:`~repro.engine.RunStats.digest`
+values that ``--jobs 1`` produces (the in-process debugging path), which
+the executor guarantees by
+
+* describing each run as an immutable, picklable :class:`RunSpec`;
+* seeding each worker's global RNGs from the spec's position in the
+  sweep (the simulation's own randomness — fault plans, Water's initial
+  state — is already carried by explicit seeds inside the spec);
+* collecting results strictly in submission order and doing all shared
+  mutation (the :data:`~repro.harness.export.GLOBAL_METRICS_LOG`
+  recording) in the parent process.
+
+Worker metric trees come back inside ``RunStats.metrics`` /
+``RunStats.metric_kinds`` and fold into one sweep-wide tree through the
+existing dotted-hierarchy merge (:func:`merge_run_metrics` →
+:func:`repro.obs.registry_from_snapshot` + :meth:`MetricsRegistry.merge`).
+
+See docs/parallel_runs.md for the design and the `--jobs` CLI usage.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine import RunStats
+from ..obs import MetricsRegistry, registry_from_snapshot
+from ..params import SimParams
+
+__all__ = [
+    "RunSpec",
+    "default_jobs",
+    "execute_run",
+    "merge_run_metrics",
+    "run_map",
+    "set_default_jobs",
+]
+
+#: Worker-RNG seed base, mixed with each spec's sweep position.
+_SEED_BASE = 0x5EED_C0DE
+
+#: Module-wide default worker count used when ``run_map(jobs=None)``.
+#: Starts at 1 (today's in-process behaviour) so library callers and the
+#: test suite are unaffected until the CLI — or a user — opts in.
+_default_jobs: int = 1
+
+
+def default_jobs() -> int:
+    """The worker count ``run_map`` uses when ``jobs`` is not given."""
+    return _default_jobs
+
+
+def set_default_jobs(jobs: Optional[int]) -> int:
+    """Set the module-wide default worker count; returns the value set.
+
+    ``None`` means "all cores" (``os.cpu_count()``); the CLI's ``--jobs``
+    flag lands here.  Values below 1 are rejected.
+    """
+    global _default_jobs
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs={jobs} must be >= 1")
+    _default_jobs = jobs
+    return _default_jobs
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run, ready to ship to a pool worker.
+
+    Everything here must pickle: ``params`` is a frozen
+    :class:`~repro.params.SimParams` (including any
+    :class:`~repro.faults.FaultPlan`), ``workload`` one of the app config
+    dataclasses (:class:`~repro.apps.JacobiConfig`,
+    :class:`~repro.apps.WaterConfig`, :class:`~repro.apps.CholeskyConfig`).
+    """
+
+    app: str
+    """Application kernel: ``jacobi``, ``water`` or ``cholesky``."""
+
+    params: SimParams
+    """Full simulation configuration (processor count, fault plan, ...)."""
+
+    interface: str = "cni"
+    """Network interface: ``cni`` or ``standard``."""
+
+    workload: Any = None
+    """The app's config object (picklable dataclass)."""
+
+    seed: Optional[int] = None
+    """Worker global-RNG seed; when None it derives from the spec's
+    position in the sweep, so jobs=1 and jobs=N seed identically."""
+
+    meta: Tuple[Tuple[str, Any], ...] = ()
+    """Extra ``(key, value)`` metadata attached to the run's
+    :class:`~repro.harness.export.MetricsLog` record."""
+
+    def describe(self) -> str:
+        """One-line human-readable form (bench banners, logs)."""
+        return (f"{self.app}/{self.interface}"
+                f"/p{self.params.num_processors}")
+
+
+def _seed_global_rngs(spec: RunSpec, index: int) -> None:
+    """Give the executing process its own deterministic RNG state.
+
+    The simulation's meaningful randomness travels in explicit seeds
+    (``FaultPlan.seed``, ``WaterConfig.seed``); this guards against any
+    incidental use of the *global* ``random`` / ``numpy.random`` state,
+    which a forked worker would otherwise inherit mid-stream from the
+    parent — the classic way parallel runs drift from serial ones.
+    """
+    seed = spec.seed if spec.seed is not None else _SEED_BASE + index
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+
+
+def execute_run(spec: RunSpec, index: int = 0) -> RunStats:
+    """Execute one spec in the current process and return its stats.
+
+    This is both the pool-worker body and the ``--jobs 1`` in-process
+    path, so the two are one code path by construction.
+    """
+    from ..apps import run_cholesky, run_jacobi, run_water
+
+    _seed_global_rngs(spec, index)
+    if spec.app == "jacobi":
+        return run_jacobi(spec.params, spec.interface, spec.workload)[0]
+    if spec.app == "water":
+        return run_water(spec.params, spec.interface, spec.workload)[0]
+    if spec.app == "cholesky":
+        return run_cholesky(spec.params, spec.interface, spec.workload)[0]
+    raise ValueError(f"unknown app {spec.app!r}")
+
+
+def _worker(job: Tuple[int, RunSpec]) -> Tuple[int, RunStats]:
+    index, spec = job
+    return index, execute_run(spec, index)
+
+
+def run_map(specs: Sequence[RunSpec], jobs: Optional[int] = None,
+            record: bool = True) -> List[RunStats]:
+    """Run every spec; return their :class:`RunStats` in spec order.
+
+    ``jobs`` is the worker-process count (None → :func:`default_jobs`;
+    1 → run in-process, no pool).  With ``record=True`` each run is
+    recorded into :data:`~repro.harness.export.GLOBAL_METRICS_LOG` — in
+    the parent, in spec order, with the run's ``digest`` attached — so
+    ``--metrics`` exports are byte-identical at any jobs setting.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs={jobs} must be >= 1")
+    if not specs:
+        return []
+
+    workers = min(jobs, len(specs))
+    if workers <= 1:
+        results = [execute_run(spec, i) for i, spec in enumerate(specs)]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = [stats for _i, stats in
+                       pool.map(_worker, enumerate(specs))]
+
+    if record:
+        from .export import GLOBAL_METRICS_LOG
+
+        for spec, stats in zip(specs, results):
+            GLOBAL_METRICS_LOG.record(
+                spec.app, spec.interface, spec.params.num_processors,
+                stats.metrics, digest=stats.digest(), **dict(spec.meta))
+    return results
+
+
+def merge_run_metrics(runs: Iterable[RunStats],
+                      into: Optional[MetricsRegistry] = None,
+                      prefix: str = "") -> MetricsRegistry:
+    """Fold every run's metric tree into one registry.
+
+    Each run's flat snapshot is rebuilt into a registry
+    (:func:`repro.obs.registry_from_snapshot`, using the run's
+    ``metric_kinds``) and merged through the standard dotted-hierarchy
+    merge: counters sum, gauges max, histograms add bucket-wise.  This
+    is how a parallel sweep gets its cluster-wide totals despite every
+    run having executed in a different process.
+    """
+    merged = into if into is not None else MetricsRegistry()
+    for stats in runs:
+        merged.merge(registry_from_snapshot(stats.metrics,
+                                            stats.metric_kinds),
+                     prefix=prefix)
+    return merged

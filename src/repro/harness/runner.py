@@ -13,15 +13,23 @@ Usage::
     python -m repro.harness fig2 fig14 table5
     python -m repro.harness all
     REPRO_FULL=1 python -m repro.harness fig4
+    python -m repro.harness fig4 --jobs 8               # parallel sweep points
+    python -m repro.harness all --jobs 1                # serial (debugging)
     python -m repro.harness all --svg out/ --csv out/   # export files too
     python -m repro.harness all --metrics out/          # + metrics JSON per exp
     python -m repro.harness metrics --app water         # per-node metric table
     python -m repro.harness faults                      # loss-rate sweep
     python -m repro.harness fig2 --fault-plan 'seed=7;cell_loss(rate=0.01)'
 
-``--fault-plan SPEC`` injects faults into any experiment (and enables
-the reliable transport so runs survive them); see
-:func:`repro.faults.parse_fault_plan` for the grammar.
+``--jobs N`` fans an experiment's independent simulation runs across N
+worker processes (default: all cores; results are bit-identical at any
+N — see docs/parallel_runs.md).  ``--fault-plan SPEC`` injects faults
+into any experiment (and enables the reliable transport so runs survive
+them); see :func:`repro.faults.parse_fault_plan` for the grammar.
+
+Experiment text output is also appended to
+``results/<scale>_scale_results.txt`` (gitignored), the artifact
+``repro.harness.compare`` reads to regenerate EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -334,6 +342,16 @@ def main(argv: List[str] = None) -> int:
     csv_dir = _take_option(argv, "--csv")
     metrics_dir = _take_option(argv, "--metrics")
     fault_spec = _take_option(argv, "--fault-plan")
+    jobs_arg = _take_option(argv, "--jobs")
+    results_dir = _take_option(argv, "--results") or "results"
+    from .parallel import set_default_jobs
+
+    try:
+        jobs = set_default_jobs(int(jobs_arg) if jobs_arg is not None
+                                else None)
+    except ValueError as exc:
+        print(f"--jobs: {exc}")
+        return 1
     base_params = None
     if fault_spec:
         from ..faults import parse_fault_plan
@@ -357,15 +375,25 @@ def main(argv: List[str] = None) -> int:
 
         return metrics_main(argv[1:], scale)
     ids = sorted(EXPERIMENTS) if argv == ["all"] else argv
+    if jobs > 1:
+        print(f"parallel executor: --jobs {jobs}")
+    results_path = os.path.join(results_dir,
+                                f"{scale.name}_scale_results.txt")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(results_path, "w"):
+        pass  # one invocation == one results file; re-runs start fresh
     for exp_id in ids:
         from .export import GLOBAL_METRICS_LOG
 
         GLOBAL_METRICS_LOG.clear()
         result = run_experiment(exp_id, scale, base_params)
         if isinstance(result, SeriesResult):
-            print(format_series(result))
+            text = format_series(result)
         else:
-            print(format_table(result))
+            text = format_table(result)
+        print(text)
+        with open(results_path, "a") as fh:
+            fh.write(text + "\n\n")
         if svg_dir and isinstance(result, SeriesResult):
             from .svgplot import render_series_svg
 
@@ -389,4 +417,5 @@ def main(argv: List[str] = None) -> int:
                 fh.write(GLOBAL_METRICS_LOG.to_json(name=exp_id))
             print(f"   wrote {path} ({len(GLOBAL_METRICS_LOG)} runs)")
         print()
+    print(f"wrote {results_path}")
     return 0

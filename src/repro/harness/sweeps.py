@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..params import SimParams
-from .experiments import _run_app
+from .parallel import RunSpec, run_map
 from .results import SeriesResult
 
 
@@ -29,13 +29,18 @@ def sweep_param(
     interfaces: Sequence[str] = ("cni", "standard"),
     base_params: Optional[SimParams] = None,
     metric: str = "elapsed_ms",
+    jobs: Optional[int] = None,
 ) -> SeriesResult:
     """Run ``app`` across ``values`` of one parameter.
 
     ``metric`` selects the y series: ``elapsed_ms``, ``speedup_vs_first``
     (normalized to each interface's first point) or ``hit_ratio_pct``.
+    The (interface x value) grid runs through the parallel executor;
+    ``jobs`` overrides :func:`~repro.harness.parallel.default_jobs`.
     """
     base = base_params or SimParams()
+    if not values:
+        raise ValueError(f"sweep of {param_name!r} needs at least one value")
     if not hasattr(base, param_name):
         raise AttributeError(f"SimParams has no field {param_name!r}")
     if metric not in ("elapsed_ms", "speedup_vs_first", "hit_ratio_pct"):
@@ -45,19 +50,27 @@ def sweep_param(
         x_label=param_name,
         xs=[float(v) for v in values],
     )
+    specs = [
+        RunSpec(app, base.replace(**{param_name: v,
+                                     "num_processors": nprocs}),
+                iface, workload)
+        for iface in interfaces for v in values
+    ]
+    runs = iter(run_map(specs, jobs=jobs))
     for iface in interfaces:
         raw = []
-        for v in values:
-            params = base.replace(
-                **{param_name: v, "num_processors": nprocs}
-            )
-            stats = _run_app(app, params, iface, workload)
+        for _v in values:
+            stats = next(runs)
             if metric == "hit_ratio_pct":
                 raw.append(100.0 * stats.network_cache_hit_ratio)
             else:
                 raw.append(stats.elapsed_ns / 1e6)
         if metric == "speedup_vs_first":
             first = raw[0]
+            if first == 0:
+                raise ValueError(
+                    f"speedup_vs_first is undefined: the first point "
+                    f"({param_name}={values[0]!r}, {iface}) took 0 ms")
             raw = [first / v for v in raw]
         result.series[f"{iface}_{metric}"] = raw
     result.validate()

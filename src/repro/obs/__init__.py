@@ -34,6 +34,7 @@ from .metrics import (
     MetricsRegistry,
     MetricsScope,
     private_scope,
+    registry_from_snapshot,
 )
 from .spans import SpanHandle, SpanTracer
 
@@ -53,5 +54,6 @@ __all__ = [
     "node_ids",
     "per_node_rows",
     "private_scope",
+    "registry_from_snapshot",
     "snapshot_to_json",
 ]

@@ -249,6 +249,17 @@ class MetricsRegistry:
         """The metric registered under ``name``, or None."""
         return self._metrics.get(name)
 
+    def kinds(self) -> Dict[str, str]:
+        """``{dotted name: kind}`` for every registered metric (probes
+        run first, so late-registered metrics are included).  Stored next
+        to a snapshot, this is what lets
+        :func:`registry_from_snapshot` rebuild a mergeable registry long
+        after the live one is gone — e.g. in the parallel sweep executor,
+        where worker processes ship snapshots back to the parent."""
+        for probe in self._probes:
+            probe(self)
+        return {name: m.kind for name, m in self._metrics.items()}
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
@@ -350,3 +361,39 @@ def private_scope() -> MetricsScope:
     falls back to when no cluster registry was threaded through, so
     instrumentation code never branches on "is observability on"."""
     return MetricsRegistry().scope("")
+
+
+def registry_from_snapshot(snapshot: Dict[str, Any],
+                           kinds: Dict[str, str]) -> MetricsRegistry:
+    """Rebuild a *stored-value* registry from a flat snapshot.
+
+    ``snapshot`` is what :meth:`MetricsRegistry.snapshot` returned;
+    ``kinds`` is the matching :meth:`MetricsRegistry.kinds` map (a name
+    missing from it defaults to ``counter``).  Function-sourced metrics
+    come back as plain stored values frozen at snapshot time, which is
+    exactly what cross-process aggregation needs: the rebuilt registry
+    feeds :meth:`MetricsRegistry.merge`, so per-run trees from pool
+    workers fold into one sweep-wide tree with the normal semantics
+    (counters sum, gauges max, histograms add bucket-wise).
+    """
+    registry = MetricsRegistry()
+    for name, value in snapshot.items():
+        kind = kinds.get(name, "counter")
+        if kind == "histogram":
+            if not isinstance(value, dict):
+                raise MetricError(
+                    f"{name!r}: histogram snapshot value must be a dict")
+            buckets = value.get("buckets", {})
+            bounds = tuple(sorted(float(b) for b in buckets if b != "+inf"))
+            hist = registry.histogram(name, bounds)
+            for i, b in enumerate(hist.bounds):
+                hist.counts[i] = int(buckets.get(f"{b:g}", 0))
+            hist.counts[-1] = int(buckets.get("+inf", 0))
+            hist.count = int(value.get("count", 0))
+            hist.sum = float(value.get("sum", 0.0))
+        elif kind == "gauge":
+            registry.gauge(name).set(float(value))
+        else:
+            counter = registry.counter(name)
+            counter._value = float(value)
+    return registry

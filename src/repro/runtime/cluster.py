@@ -186,6 +186,7 @@ class Cluster:
         stats.counters = self.counters
         stats.per_processor = [n.account for n in self.nodes]
         stats.metrics = self.metrics.snapshot()
+        stats.metric_kinds = self.metrics.kinds()
         return stats
 
     # -------------------------------------------------------------- reporting --

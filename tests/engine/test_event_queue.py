@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import EventQueue
+from repro.engine import EmptyQueueError, EventQueue
 
 
 def test_orders_by_time():
@@ -62,6 +62,28 @@ def test_empty_queue_raises():
         q.pop()
     with pytest.raises(IndexError):
         q.peek_time()
+
+
+def test_empty_queue_error_names_the_operation():
+    q = EventQueue()
+    with pytest.raises(EmptyQueueError, match=r"EventQueue\.pop\(\)"):
+        q.pop()
+    with pytest.raises(EmptyQueueError, match=r"EventQueue\.peek_time\(\)"):
+        q.peek_time()
+
+
+def test_empty_queue_error_is_an_index_error():
+    # The simulator's drain loop catches IndexError as end-of-simulation;
+    # the richer error must stay compatible with it.
+    assert issubclass(EmptyQueueError, IndexError)
+
+
+def test_all_cancelled_queue_raises_like_empty():
+    q = EventQueue()
+    q.push(1.0, lambda: None).cancel()
+    q.push(2.0, lambda: None).cancel()
+    with pytest.raises(EmptyQueueError, match="empty event queue"):
+        q.pop()
 
 
 def test_nan_time_rejected():

@@ -1,0 +1,71 @@
+"""The perf-regression checker in tools/bench.py (logic only — the
+timing arms themselves run in CI via ``tools/bench.py --smoke``)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_BENCH = os.path.join(os.path.dirname(__file__), "..", "..", "tools",
+                      "bench.py")
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench", _BENCH)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def doc(events_per_sec, total_s, smoke=True):
+    return {
+        "kind": "bench", "schema_version": 1, "smoke": smoke,
+        "engine": {"events_per_sec": events_per_sec},
+        "experiments": {"total_s": total_s},
+    }
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_lookup_walks_dotted_keys(bench):
+    assert bench._lookup(doc(123.0, 4.5), "engine.events_per_sec") == 123.0
+    assert bench._lookup(doc(123.0, 4.5), "experiments.total_s") == 4.5
+
+
+def test_within_threshold_passes(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(doc(950.0, 10.5), old, 0.20) == 0
+
+
+def test_throughput_drop_fails(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(doc(700.0, 10.0), old, 0.20) == 1
+
+
+def test_wallclock_growth_fails(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(doc(1000.0, 15.0), old, 0.20) == 1
+
+
+def test_improvement_never_fails(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(doc(5000.0, 1.0), old, 0.20) == 0
+
+
+def test_smoke_vs_full_is_not_comparable(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0, smoke=False))
+    # Wildly regressed numbers, but the baseline is a different workload
+    # set, so the check declines to judge rather than false-alarm.
+    assert bench.check_regression(doc(1.0, 999.0, smoke=True), old, 0.20) == 0
+
+
+def test_missing_keys_are_skipped(bench, tmp_path):
+    old = write(tmp_path, "old.json",
+                {"smoke": True, "engine": {}, "experiments": {}})
+    assert bench.check_regression(doc(1.0, 999.0), old, 0.20) == 0

@@ -1,0 +1,148 @@
+"""The parallel sweep executor: determinism, ordering, metric merging."""
+
+import pickle
+
+import pytest
+
+from repro.apps import JacobiConfig
+from repro.harness import (
+    GLOBAL_METRICS_LOG,
+    RunSpec,
+    default_jobs,
+    execute_run,
+    merge_run_metrics,
+    run_map,
+    set_default_jobs,
+)
+from repro.params import SimParams
+
+
+def specs_grid(procs=(1, 2), ifaces=("cni", "standard")):
+    wl = JacobiConfig(n=32, iterations=2)
+    return [RunSpec("jacobi", SimParams().replace(num_processors=p),
+                    iface, wl)
+            for p in procs for iface in ifaces]
+
+
+# -- determinism ---------------------------------------------------------------
+
+def test_jobs_1_and_jobs_n_digests_identical():
+    """The executor's core guarantee: per-point RunStats.digest() values
+    are bit-identical between the in-process path and a process pool."""
+    specs = specs_grid()
+    serial = run_map(specs, jobs=1, record=False)
+    parallel = run_map(specs, jobs=4, record=False)
+    assert [s.digest() for s in serial] == [s.digest() for s in parallel]
+
+
+def test_results_preserve_spec_order():
+    specs = specs_grid(procs=(2, 1, 4), ifaces=("cni",))
+    runs = run_map(specs, jobs=2, record=False)
+    # each spec's processor count is visible in its per_processor list
+    assert [len(r.per_processor) for r in runs] == [2, 1, 4]
+
+
+def test_execute_run_is_the_jobs_1_path():
+    spec = specs_grid()[0]
+    assert execute_run(spec, 0).digest() == \
+        run_map([spec], jobs=1, record=False)[0].digest()
+
+
+# -- the spec ------------------------------------------------------------------
+
+def test_runspec_is_picklable():
+    spec = specs_grid()[0]
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+
+
+def test_unknown_app_rejected():
+    spec = RunSpec("fortran_weather_model", SimParams(), "cni", None)
+    with pytest.raises(ValueError, match="unknown app"):
+        execute_run(spec)
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(ValueError):
+        run_map(specs_grid(), jobs=0)
+    with pytest.raises(ValueError):
+        set_default_jobs(0)
+
+
+def test_empty_spec_list():
+    assert run_map([], jobs=4) == []
+
+
+def test_default_jobs_setting_round_trips():
+    before = default_jobs()
+    try:
+        assert set_default_jobs(3) == 3
+        assert default_jobs() == 3
+        assert set_default_jobs(None) >= 1  # None -> all cores
+    finally:
+        set_default_jobs(before)
+
+
+# -- parent-side recording -----------------------------------------------------
+
+def test_run_map_records_with_digest():
+    GLOBAL_METRICS_LOG.clear()
+    specs = specs_grid(procs=(2,), ifaces=("cni",))
+    runs = run_map(specs, jobs=1)
+    try:
+        assert len(GLOBAL_METRICS_LOG) == 1
+        entry = GLOBAL_METRICS_LOG.entries[0]
+        assert entry["app"] == "jacobi"
+        assert entry["interface"] == "cni"
+        assert entry["nprocs"] == 2
+        assert entry["digest"] == runs[0].digest()
+        assert entry["metrics"] == runs[0].metrics
+    finally:
+        GLOBAL_METRICS_LOG.clear()
+
+
+def test_run_map_meta_lands_in_log():
+    GLOBAL_METRICS_LOG.clear()
+    spec = RunSpec("jacobi", SimParams().replace(num_processors=2), "cni",
+                   JacobiConfig(n=32, iterations=2),
+                   meta=(("cell_loss_rate", 0.01),))
+    run_map([spec], jobs=1)
+    try:
+        assert GLOBAL_METRICS_LOG.entries[0]["cell_loss_rate"] == 0.01
+    finally:
+        GLOBAL_METRICS_LOG.clear()
+
+
+# -- metric-tree merging -------------------------------------------------------
+
+def test_merge_run_metrics_counters_sum_gauges_max():
+    runs = run_map(specs_grid(procs=(1, 2), ifaces=("cni",)), record=False)
+    merged = merge_run_metrics(runs)
+    events = merged.get("engine.events_processed")
+    assert events.kind == "counter"
+    assert events.value == sum(r.metrics["engine.events_processed"]
+                               for r in runs)
+    hwm = merged.get("engine.event_queue_hwm")
+    assert hwm.kind == "gauge"
+    assert hwm.value == max(r.metrics["engine.event_queue_hwm"]
+                            for r in runs)
+
+
+def test_merge_run_metrics_histograms_add_bucketwise():
+    runs = run_map(specs_grid(procs=(2, 2), ifaces=("cni",)), record=False)
+    merged = merge_run_metrics(runs)
+    hist = merged.get("spans.dma_ns")
+    assert hist.kind == "histogram"
+    assert hist.count == sum(r.metrics["spans.dma_ns"]["count"]
+                             for r in runs)
+    assert hist.sum == pytest.approx(sum(r.metrics["spans.dma_ns"]["sum"]
+                                         for r in runs))
+
+
+def test_merge_into_existing_registry_with_prefix():
+    from repro.obs import MetricsRegistry
+
+    runs = run_map(specs_grid(procs=(2,), ifaces=("cni",)), record=False)
+    target = MetricsRegistry()
+    merge_run_metrics(runs, into=target, prefix="sweep")
+    assert "sweep.engine.events_processed" in target

@@ -57,3 +57,27 @@ def test_sweep_validates_inputs():
     with pytest.raises(ValueError):
         sweep_param("jacobi", tiny_workload(), "ni_freq_hz", [33e6],
                     metric="vibes")
+
+
+def test_sweep_rejects_empty_values():
+    # Used to slip through to raw[0] and die with IndexError.
+    with pytest.raises(ValueError, match="at least one value"):
+        sweep_param("jacobi", tiny_workload(), "ni_freq_hz", [])
+    with pytest.raises(ValueError, match="at least one value"):
+        sweep_param("jacobi", tiny_workload(), "ni_freq_hz", [],
+                    metric="speedup_vs_first")
+
+
+def test_sweep_zero_baseline_is_a_value_error(monkeypatch):
+    # Used to be a bare ZeroDivisionError out of the normalization loop.
+    class ZeroStats:
+        elapsed_ns = 0
+        network_cache_hit_ratio = 0.0
+
+    monkeypatch.setattr("repro.harness.sweeps.run_map",
+                        lambda specs, jobs=None: [ZeroStats()] * len(specs))
+    with pytest.raises(ValueError,
+                       match="speedup_vs_first is undefined.*took 0 ms"):
+        sweep_param("jacobi", tiny_workload(), "ni_freq_hz", [33e6, 66e6],
+                    nprocs=2, metric="speedup_vs_first",
+                    interfaces=("cni",))

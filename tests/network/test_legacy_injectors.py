@@ -1,0 +1,114 @@
+"""The deprecated ``Network.loss_injector`` / ``cell_loss_injector`` shims.
+
+Both must (a) warn with ``DeprecationWarning`` on assignment, (b) stay
+readable through their property getters, and (c) route through the same
+:class:`~repro.faults.ActiveFaultPlan` evaluator as a modern
+:class:`~repro.faults.FaultPlan`, so damage shows up in the plan's
+per-destination counters exactly like plan-inflicted damage does.
+"""
+
+import warnings
+
+import pytest
+
+from repro.engine import Simulator
+from repro.faults import ActiveFaultPlan, CellLoss, FaultPlan
+from repro.network import Network, Packet, PacketKind, Segmenter
+from repro.params import SimParams
+
+
+def make_net(**over):
+    sim = Simulator()
+    params = SimParams().replace(num_processors=4, **over)
+    return sim, params, Network(sim, params)
+
+
+def packet(src=0, dst=1, size=400):
+    return Packet(kind=PacketKind.DATA, src_node=src, dst_node=dst,
+                  channel_id=1, payload_bytes=size)
+
+
+def test_train_injector_setter_warns():
+    _sim, _params, net = make_net()
+    with pytest.warns(DeprecationWarning, match="loss_injector is deprecated"):
+        net.loss_injector = lambda train: 1
+    assert net.loss_injector is not None
+
+
+def test_cell_injector_setter_warns():
+    _sim, _params, net = make_net()
+    with pytest.warns(DeprecationWarning,
+                      match="cell_loss_injector is deprecated"):
+        net.cell_loss_injector = lambda cell, pkt: False
+    assert net.cell_loss_injector is not None
+
+
+def test_getters_do_not_warn():
+    _sim, _params, net = make_net()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert net.loss_injector is None
+        assert net.cell_loss_injector is None
+
+
+def test_train_injector_routes_through_fault_evaluator():
+    sim, params, net = make_net()
+    assert net.active_faults is None  # clean fabric until the shim attaches
+    with pytest.deprecated_call():
+        net.loss_injector = lambda train: 2
+    # The shim materialized the same runtime evaluator a FaultPlan gets.
+    assert isinstance(net.active_faults, ActiveFaultPlan)
+    seg = Segmenter(params)
+    net.send_train(seg.make_train(packet(0, 1)))
+    sim.run()
+    ok, train = net.rx_queues[1].try_get()
+    assert ok and train.lost_cells == 2
+    # Damage is counted by the evaluator, same as plan-inflicted damage.
+    assert net.active_faults.cells_dropped[1] == 2
+    assert net.fault_cells_dropped(1) == 2
+
+
+def test_cell_injector_routes_through_fault_evaluator():
+    sim, params, net = make_net()
+    with pytest.deprecated_call():
+        net.cell_loss_injector = lambda cell, pkt: cell.seq == 0
+    assert isinstance(net.active_faults, ActiveFaultPlan)
+    p = packet(0, 1)
+    seg = Segmenter(params)
+    cells = seg.segment(p)
+    net.send_cells(cells, p)
+    sim.run()
+    delivered = []
+    while True:
+        ok, item = net.rx_queues[1].try_get()
+        if not ok:
+            break
+        delivered.append(item)
+    assert len(delivered) == len(cells) - 1
+    assert net.active_faults.cells_dropped[1] == 1
+    assert net.fault_cells_dropped(1) == 1
+
+
+def test_shim_damage_matches_equivalent_fault_plan():
+    """A legacy drop-one-cell-per-train injector and a modern
+    ``CellLoss(nth=...)`` plan inflict identical damage on one train."""
+    p = packet(0, 1, size=400)
+
+    sim_a, params_a, net_a = make_net()
+    with pytest.deprecated_call():
+        net_a.loss_injector = lambda train: 1
+    net_a.send_train(Segmenter(params_a).make_train(p))
+    sim_a.run()
+    _ok, legacy_train = net_a.rx_queues[1].try_get()
+
+    n_cells = legacy_train.n_cells
+    plan = FaultPlan(schedules=(CellLoss(nth=n_cells),))
+    sim_b = Simulator()
+    params_b = SimParams().replace(num_processors=4, fault_plan=plan)
+    net_b = Network(sim_b, params_b)
+    net_b.send_train(Segmenter(params_b).make_train(packet(0, 1, size=400)))
+    sim_b.run()
+    _ok, plan_train = net_b.rx_queues[1].try_get()
+
+    assert legacy_train.lost_cells == plan_train.lost_cells == 1
+    assert net_a.fault_cells_dropped(1) == net_b.fault_cells_dropped(1) == 1

@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Perf-regression benchmark harness: time pinned workloads, emit JSON.
+
+Measures three things on a fixed, pinned workload set:
+
+* **engine events/sec** — raw discrete-event kernel throughput on one
+  in-process Jacobi run (the hot loop everything else multiplies);
+* **wall-clock per experiment** — seconds to regenerate a fixed set of
+  quick-scale experiments end to end;
+* **parallel speedup** — wall-clock of a fixed 8-point sweep at
+  ``--jobs N`` vs ``--jobs 1`` (same grid, same digests; the parallel
+  executor's whole point).
+
+Results land in ``BENCH_<date>.json`` at the repo root, establishing a
+perf trajectory across PRs.  ``--check OLD.json`` compares the current
+run against a previous file and exits non-zero on regression beyond
+``--threshold`` (default 20%), which is what a CI gate calls.
+
+Usage::
+
+    python tools/bench.py                      # full pinned set
+    python tools/bench.py --smoke              # tiny set for CI (~seconds)
+    python tools/bench.py --jobs 8             # pin the parallel arm
+    python tools/bench.py --out bench/         # write elsewhere
+    python tools/bench.py --check BENCH_2026-08-06.json --threshold 0.25
+
+The JSON schema is documented in docs/parallel_runs.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+SCHEMA_VERSION = 1
+
+#: Metrics compared by --check, as (dotted key, higher_is_better).
+CHECKED_METRICS = (
+    ("engine.events_per_sec", True),
+    ("experiments.total_s", False),
+)
+
+
+def _time_events_per_sec(smoke: bool) -> Dict[str, Any]:
+    """One in-process Jacobi run; events/sec of the simulation kernel."""
+    from repro.apps import JacobiConfig
+    from repro.harness import RunSpec, execute_run
+    from repro.params import SimParams
+
+    cfg = JacobiConfig(n=32, iterations=2) if smoke \
+        else JacobiConfig(n=96, iterations=5)
+    spec = RunSpec("jacobi", SimParams().replace(num_processors=4),
+                   "cni", cfg)
+    execute_run(spec)  # warm-up: imports, numpy, allocator
+    t0 = time.perf_counter()
+    stats = execute_run(spec)
+    dt = time.perf_counter() - t0
+    events = float(stats.metrics["engine.events_processed"])
+    return {
+        "workload": f"jacobi n={cfg.n} iters={cfg.iterations} p4 cni",
+        "events": events,
+        "wall_s": dt,
+        "events_per_sec": events / dt if dt > 0 else 0.0,
+    }
+
+
+def _time_experiments(smoke: bool) -> Dict[str, Any]:
+    """Wall-clock to regenerate pinned experiments at quick scale."""
+    from repro.harness import QUICK, run_experiment
+    from repro.harness.export import GLOBAL_METRICS_LOG
+
+    exp_ids = ["table1", "fig14"] if smoke else ["fig2", "fig5", "table2",
+                                                 "fig13", "fig14", "faults"]
+    per_exp: Dict[str, float] = {}
+    for exp_id in exp_ids:
+        GLOBAL_METRICS_LOG.clear()
+        t0 = time.perf_counter()
+        run_experiment(exp_id, QUICK)
+        per_exp[exp_id] = time.perf_counter() - t0
+    GLOBAL_METRICS_LOG.clear()
+    return {"per_experiment_s": per_exp,
+            "total_s": sum(per_exp.values())}
+
+
+def _sweep_specs(smoke: bool) -> List[Any]:
+    """The pinned 8-point sweep the speedup arm times (one RunSpec per
+    point: 4 processor counts x 2 interfaces)."""
+    from repro.apps import JacobiConfig
+    from repro.harness import RunSpec
+    from repro.params import SimParams
+
+    cfg = JacobiConfig(n=32, iterations=2) if smoke \
+        else JacobiConfig(n=64, iterations=5)
+    return [RunSpec("jacobi", SimParams().replace(num_processors=p),
+                    iface, cfg)
+            for p in (1, 2, 4, 8) for iface in ("cni", "standard")]
+
+
+def _time_parallel_speedup(jobs: int, smoke: bool) -> Dict[str, Any]:
+    """The 8-point sweep at --jobs 1 vs --jobs N, digests compared."""
+    from repro.harness import run_map
+
+    specs = _sweep_specs(smoke)
+    run_map(specs[:1], jobs=1, record=False)  # warm-up
+    t0 = time.perf_counter()
+    serial = run_map(specs, jobs=1, record=False)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_map(specs, jobs=jobs, record=False)
+    parallel_s = time.perf_counter() - t0
+    digests_match = ([s.digest() for s in serial]
+                     == [s.digest() for s in parallel])
+    return {
+        "points": len(specs),
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "digests_match": digests_match,
+    }
+
+
+def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
+    """Run every arm; return the BENCH document (sans date stamp)."""
+    jobs = jobs or (os.cpu_count() or 1)
+    doc: Dict[str, Any] = {
+        "kind": "bench",
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    print(f"[bench] engine events/sec ({'smoke' if smoke else 'full'}) ...")
+    doc["engine"] = _time_events_per_sec(smoke)
+    print(f"[bench]   {doc['engine']['events_per_sec']:,.0f} events/s")
+    print("[bench] experiment wall-clock (quick scale) ...")
+    doc["experiments"] = _time_experiments(smoke)
+    print(f"[bench]   {doc['experiments']['total_s']:.2f} s total")
+    print(f"[bench] parallel speedup at --jobs {jobs} vs 1 ...")
+    doc["parallel"] = _time_parallel_speedup(jobs, smoke)
+    p = doc["parallel"]
+    print(f"[bench]   {p['serial_s']:.2f} s -> {p['parallel_s']:.2f} s "
+          f"({p['speedup']:.2f}x, digests_match={p['digests_match']})")
+    if not p["digests_match"]:
+        raise SystemExit("[bench] FATAL: parallel digests diverge from serial")
+    return doc
+
+
+def _lookup(doc: Dict[str, Any], dotted: str) -> float:
+    node: Any = doc
+    for part in dotted.split("."):
+        node = node[part]
+    return float(node)
+
+
+def check_regression(current: Dict[str, Any], old_path: str,
+                     threshold: float) -> int:
+    """Compare against a previous BENCH file; 0 = within threshold."""
+    with open(old_path) as fh:
+        old = json.load(fh)
+    if old.get("smoke") != current.get("smoke"):
+        print(f"[bench] check: {old_path} ran "
+              f"{'smoke' if old.get('smoke') else 'full'}, this run is "
+              f"{'smoke' if current.get('smoke') else 'full'} — not comparable")
+        return 0
+    failures = 0
+    for key, higher_is_better in CHECKED_METRICS:
+        try:
+            before, now = _lookup(old, key), _lookup(current, key)
+        except KeyError:
+            continue
+        if before <= 0:
+            continue
+        change = (now - before) / before
+        regressed = (change < -threshold if higher_is_better
+                     else change > threshold)
+        marker = "REGRESSION" if regressed else "ok"
+        print(f"[bench] check {key}: {before:,.2f} -> {now:,.2f} "
+              f"({change:+.1%}) {marker}")
+        failures += regressed
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="worker count for the speedup arm "
+                         "(default: all cores)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads for CI (seconds, not minutes)")
+    ap.add_argument("--out", default=".",
+                    help="directory for BENCH_<date>.json (default: repo root)")
+    ap.add_argument("--date", default=None,
+                    help="override the date stamp (default: today, UTC)")
+    ap.add_argument("--check", default=None, metavar="OLD.json",
+                    help="compare against a previous BENCH file; exit 1 on "
+                         "regression")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative regression tolerance for --check "
+                         "(default 0.20)")
+    args = ap.parse_args(argv)
+
+    doc = run_bench(args.jobs, args.smoke)
+    stamp = args.date or time.strftime("%Y-%m-%d", time.gmtime())
+    doc["date"] = stamp
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, f"BENCH_{stamp}.json")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench] wrote {path}")
+    if args.check:
+        return check_regression(doc, args.check, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,9 +55,9 @@ def run_board_counter():
     for node in cluster.nodes:
         node.nic.install_protocol_handler(FNA_KEY, handler, 1024)
         node.nic.install_protocol_handler(FNA_REPLY_KEY, handler, 1024)
-        # our keys must reach our handler, not the DSM engine: wrap the
-        # protocol sink
-        engine_sink = node.engine.handle_packet
+        # our keys must reach our handler, not the DSM/collective
+        # engines: wrap the node's protocol dispatcher
+        engine_sink = node.dispatch_protocol_packet
 
         def sink(packet, on_board, _engine=engine_sink):
             if packet.handler_key in (FNA_KEY, FNA_REPLY_KEY):

@@ -1,0 +1,52 @@
+"""Collective operations: barrier, broadcast, reduce/all-reduce, multicast.
+
+The subsystem the paper's Application Interrupt Handlers were built for
+(Section 2.3): collective protocol steps that complete on the network
+interface processor with **zero host interrupts**.  Two interchangeable
+engines implement the same root-gathered protocol — NIC-resident
+(:class:`NicCollectiveEngine`, AIH handlers dispatched by PATHFINDER)
+and host-based (:class:`HostCollectiveEngine`, the baseline) — selected
+by ``SimParams.collectives`` / the harness ``--collectives`` flag.
+
+See docs/collectives.md for the API, the engine cost models, the
+AIH/PATHFINDER mapping and the ``coll.*`` metrics.
+"""
+
+from .bench import CollBenchConfig, collective_kernel, run_collective_bench
+from .engine import (
+    OPS,
+    CollectiveEngine,
+    HostCollectiveEngine,
+    NicCollectiveEngine,
+    make_collective_engine,
+    resolve_engine_kind,
+)
+from .errors import CollectiveError
+from .messages import (
+    COLL_HANDLER_CODE_BYTES,
+    CollArrive,
+    CollMsgType,
+    CollRelease,
+)
+from .ops import REDUCERS, combine, reduce_values, value_wire_bytes
+
+__all__ = [
+    "OPS",
+    "REDUCERS",
+    "COLL_HANDLER_CODE_BYTES",
+    "CollArrive",
+    "CollBenchConfig",
+    "CollMsgType",
+    "CollRelease",
+    "CollectiveEngine",
+    "CollectiveError",
+    "HostCollectiveEngine",
+    "NicCollectiveEngine",
+    "collective_kernel",
+    "combine",
+    "make_collective_engine",
+    "reduce_values",
+    "resolve_engine_kind",
+    "run_collective_bench",
+    "value_wire_bytes",
+]

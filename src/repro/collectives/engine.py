@@ -1,0 +1,491 @@
+"""Collective-operation engines: NIC-resident (AIH) and host-based.
+
+One engine instance per node (mirroring :class:`repro.dsm.DsmEngine`),
+reachable as ``node.coll``.  Both engines speak the same root-gathered
+protocol:
+
+* every participant sends a :class:`CollArrive` to the episode root
+  (from the application thread: user-level ADC stores on the CNI, a
+  kernel trap on the standard interface);
+* the root combines contributions as they arrive and, when the episode
+  is full, emits board-originated :class:`CollRelease` packets carrying
+  the result (barrier: nothing, or a consistency attachment; all-reduce:
+  the combined value; reduce: root keeps the result locally).
+
+*Where* the root's gather/combine/release steps run is the engine's
+whole difference:
+
+* :class:`NicCollectiveEngine` — the paper's Section 2.3 payoff.
+  PATHFINDER classifies COLLECTIVE packets into Application Interrupt
+  Handlers (installed via :class:`~repro.core.aih.HandlerRegistry`);
+  every protocol step executes on the NI processor's clock
+  (``ni_aih_protocol_cycles``) and the host never takes an interrupt on
+  the collective path.  Requires a CNI with AIH support.
+* :class:`HostCollectiveEngine` — the baseline.  Every collective packet
+  costs the host ``host_protocol_cycles`` of stolen time (plus the
+  standard interface's per-packet interrupt, charged by the NIC itself);
+  on a CNI the board handler is a trampoline that bounces the packet to
+  the host (interrupt + kernel trap + host handler).
+
+Consistency protocols attach to barriers through the optional
+``consistency`` hook object (duck-typed; see docs/collectives.md):
+``coll_on_arrive``, ``coll_gather_complete``, ``coll_make_release``,
+``coll_on_release``.  The DSM engine uses these to ship its interval
+payloads inside collective packets, which keeps the pre-collectives
+barrier economics bit-for-bit identical.
+
+Retransmission rides the PR-2 reliable transport: collective packets are
+ordinary reliable traffic, so a lost cell under a fault plan is retried
+by the NIC with no engine involvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, Sequence, Set, Tuple
+
+from ..engine import Category, SimulationError
+from ..network import Packet, PacketKind
+from ..params import SimParams
+from .errors import CollectiveError
+from .messages import CollArrive, CollMsgType, CollRelease
+from .ops import REDUCERS, reduce_values, value_wire_bytes
+
+__all__ = [
+    "OPS",
+    "CollectiveEngine",
+    "NicCollectiveEngine",
+    "HostCollectiveEngine",
+    "resolve_engine_kind",
+    "make_collective_engine",
+]
+
+#: Operations every engine implements (and the per-op latency metrics).
+OPS = ("barrier", "allreduce", "reduce", "broadcast", "multicast")
+
+
+@dataclass
+class _Waiter:
+    """A blocked application thread's rendezvous."""
+
+    event: Any
+    outstanding: int = 1
+
+
+@dataclass
+class _Episode:
+    """Root-side state of one in-flight collective."""
+
+    op: str
+    reducer: str
+    expected: int
+    arrived: Set[int] = field(default_factory=set)
+    values: Dict[int, Any] = field(default_factory=dict)
+    attached: bool = False
+
+
+class CollectiveEngine:
+    """Shared protocol logic; subclasses choose the execution platform."""
+
+    #: True when protocol steps run on the NI processor (no host part).
+    resident = False
+    #: Engine name as selected by ``SimParams.collectives``.
+    name = "?"
+
+    def __init__(self, node, nprocs: int, root: int = 0):
+        if not 0 <= root < nprocs:
+            raise CollectiveError(
+                f"collective root {root} out of range (nprocs={nprocs})")
+        self.node = node
+        self.sim = node.sim
+        self.params: SimParams = node.params
+        self.me: int = node.node_id
+        self.nprocs = nprocs
+        self.root = root
+        #: Consistency attachment hooks (set by the cluster to the DSM
+        #: engine); only consulted for barrier payloads.
+        self.consistency = None
+
+        #: Per-coll_id episode sequence, advanced by every collective
+        #: call (SPMD discipline: all nodes issue the same collectives
+        #: on a given coll_id in the same order).
+        self._next_seq: Dict[int, int] = {}
+        #: Root-side gathers in flight, keyed (coll_id, seq).
+        self._episodes: Dict[Tuple[int, int], _Episode] = {}
+        #: Blocked application threads, keyed (coll_id, seq).
+        self._waiters: Dict[Tuple[int, int], _Waiter] = {}
+        #: Releases that arrived before their receiver blocked
+        #: (broadcast/multicast races), keyed (coll_id, seq).
+        self._pending: Dict[Tuple[int, int], Any] = {}
+
+        scope = node.metrics.scope("coll")
+        self._m_ops = scope.counter("ops_completed")
+        self._m_arrivals = scope.counter("arrivals")
+        self._m_releases = scope.counter("releases")
+        self._m_bytes = scope.counter("bytes_sent")
+        self._m_nic_steps = scope.counter("nic_steps")
+        self._m_host_steps = scope.counter("host_steps")
+        self._m_host_intr = scope.counter("host_interrupts")
+        self._op_ns = {op: scope.histogram(f"{op}_ns") for op in OPS}
+
+    # ------------------------------------------------------------- platform --
+    def _charge_rx(self, on_board: bool) -> float:
+        """Cost of one inbound protocol step on this engine's platform."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------- app-side API --
+    def barrier(self, coll_id: int = 0, *, payload: Any = None,
+                payload_bytes: int = 0) -> Generator:
+        """Block until every node arrives.  ``payload``/``payload_bytes``
+        carry a consistency attachment (see module docstring)."""
+        yield from self._gather_release(
+            "barrier", coll_id, "sum", payload, payload_bytes,
+            deliver_all=True)
+        return None
+
+    def allreduce(self, value: Any, op: str = "sum",
+                  coll_id: int = 0) -> Generator:
+        """Combine ``value`` across all nodes; everyone gets the result."""
+        self._check_reducer(op)
+        result = yield from self._gather_release(
+            "allreduce", coll_id, op, value, value_wire_bytes(value),
+            deliver_all=True)
+        return result
+
+    def reduce(self, value: Any, op: str = "sum", root: Optional[int] = None,
+               coll_id: int = 0) -> Generator:
+        """Combine ``value`` at ``root``; only the root gets the result
+        (non-roots return ``None`` without waiting for completion)."""
+        self._check_reducer(op)
+        result = yield from self._gather_release(
+            "reduce", coll_id, op, value, value_wire_bytes(value),
+            deliver_all=False, root=root)
+        return result
+
+    def broadcast(self, value: Any = None, root: Optional[int] = None,
+                  coll_id: int = 0) -> Generator:
+        """One-to-all: the root's ``value`` is returned on every node."""
+        t0 = self.sim.now
+        root = self.root if root is None else self._check_node(root)
+        seq = self._bump_seq(coll_id)
+        key = (coll_id, seq)
+        if self.me == root:
+            if value is None:
+                raise CollectiveError("broadcast root must supply a value")
+            pb = value_wire_bytes(value)
+            for node in range(self.nprocs):
+                if node == self.me:
+                    continue
+                msg = CollRelease(coll_id, "broadcast", seq, value, pb)
+                yield from self._app_send(
+                    node, CollMsgType.COLL_RELEASE, msg)
+            result = value
+        else:
+            result = yield from self._await_release(key)
+        self._finish_op("broadcast", t0)
+        return result
+
+    def multicast(self, value: Any = None, dests: Sequence[int] = (),
+                  src: Optional[int] = None, coll_id: int = 0) -> Generator:
+        """One-to-some: ``src`` sends ``value`` to every node in
+        ``dests``; destinations block for it, everyone else falls
+        through immediately (the episode sequence still advances on all
+        nodes, preserving SPMD numbering)."""
+        src = self.root if src is None else self._check_node(src)
+        targets = sorted({self._check_node(d) for d in dests})
+        seq = self._bump_seq(coll_id)
+        key = (coll_id, seq)
+        t0 = self.sim.now
+        if self.me == src:
+            if value is None:
+                raise CollectiveError("multicast source must supply a value")
+            pb = value_wire_bytes(value)
+            for node in targets:
+                if node == self.me:
+                    continue
+                msg = CollRelease(coll_id, "multicast", seq, value, pb)
+                yield from self._app_send(
+                    node, CollMsgType.COLL_RELEASE, msg)
+            self._finish_op("multicast", t0)
+            return value
+        if self.me in targets:
+            result = yield from self._await_release(key)
+            self._finish_op("multicast", t0)
+            return result
+        return None
+
+    # --------------------------------------------------- gather machinery --
+    def _gather_release(self, op: str, coll_id: int, reducer: str,
+                        value: Any, payload_bytes: int, deliver_all: bool,
+                        root: Optional[int] = None) -> Generator:
+        t0 = self.sim.now
+        root = self.root if root is None else self._check_node(root)
+        seq = self._bump_seq(coll_id)
+        key = (coll_id, seq)
+        waiting = deliver_all or self.me == root
+        w = self._register_wait(key) if waiting else None
+        msg = CollArrive(coll_id, op, seq, self.me, reducer, value,
+                         payload_bytes)
+        if self.me == root:
+            # Local arrival: the app thread itself runs the gather step
+            # (same shape as the pre-collectives barrier manager).
+            cost = self.params.cpu_cycles_ns(self.params.host_protocol_cycles)
+            yield cost
+            self.node.account_overhead(cost)
+            self._arrive_logic(msg, root)
+        else:
+            yield from self._app_send(root, CollMsgType.COLL_ARRIVE, msg)
+        result = None
+        if w is not None:
+            result = yield from self._wait(w)
+        self._finish_op(op, t0)
+        return result
+
+    def _arrive_logic(self, msg: CollArrive, root: Optional[int] = None) -> None:
+        """Root-side gather step (runs on this engine's platform)."""
+        self._m_arrivals.inc()
+        if not 0 <= msg.arriver < self.nprocs:
+            raise CollectiveError(
+                f"unknown participant {msg.arriver} in collective "
+                f"{msg.coll_id} (nprocs={self.nprocs})")
+        key = (msg.coll_id, msg.seq)
+        ep = self._episodes.get(key)
+        if ep is None:
+            ep = _Episode(op=msg.op, reducer=msg.reducer,
+                          expected=self.nprocs)
+            self._episodes[key] = ep
+        if msg.op != ep.op or msg.reducer != ep.reducer:
+            raise CollectiveError(
+                f"collective {key} mixes operations: "
+                f"{(ep.op, ep.reducer)} vs {(msg.op, msg.reducer)}")
+        if msg.arriver in ep.arrived:
+            raise CollectiveError(
+                f"node {msg.arriver} arrived twice at collective {key}")
+        ep.arrived.add(msg.arriver)
+        att = self.consistency if msg.op == "barrier" else None
+        if att is not None and msg.value is not None:
+            ep.attached = True
+            att.coll_on_arrive(msg.coll_id, msg.arriver, msg.value)
+        else:
+            ep.values[msg.arriver] = msg.value
+        if len(ep.arrived) < ep.expected:
+            return
+        del self._episodes[key]
+        self._complete(msg.coll_id, msg.seq, ep)
+
+    def _complete(self, coll_id: int, seq: int, ep: _Episode) -> None:
+        """Episode full: combine and release (root side)."""
+        key = (coll_id, seq)
+        if ep.op == "barrier" and ep.attached:
+            att = self.consistency
+            att.coll_gather_complete(coll_id)
+            for node in range(self.nprocs):
+                payload, pb = att.coll_make_release(coll_id, node)
+                if node == self.me:
+                    att.coll_on_release(coll_id, payload)
+                    self._wake(key, None)
+                else:
+                    self._send_release(
+                        node, CollRelease(coll_id, ep.op, seq, payload, pb))
+            return
+        result = None
+        if ep.op in ("allreduce", "reduce"):
+            result = reduce_values(ep.reducer, ep.values)
+        if ep.op == "reduce":
+            self._wake(key, result)  # root waits; non-roots never block
+            return
+        pb = value_wire_bytes(result)
+        for node in range(self.nprocs):
+            if node == self.me:
+                self._wake(key, result)
+            else:
+                self._send_release(
+                    node, CollRelease(coll_id, ep.op, seq, result, pb))
+
+    def _release_logic(self, msg: CollRelease) -> None:
+        """Participant-side release step."""
+        key = (msg.coll_id, msg.seq)
+        value = msg.value
+        if (msg.op == "barrier" and self.consistency is not None
+                and value is not None):
+            self.consistency.coll_on_release(msg.coll_id, value)
+            value = None
+        if key in self._waiters:
+            self._wake(key, value)
+        else:
+            self._pending[key] = value
+
+    # ------------------------------------------------------ packet handler --
+    def handle_packet(self, packet: Packet, on_board: bool) -> Generator:
+        """Inbound COLLECTIVE packet (the engine's protocol sink)."""
+        yield self._charge_rx(on_board)
+        mt = CollMsgType(packet.handler_key)
+        if mt is CollMsgType.COLL_ARRIVE:
+            self._arrive_logic(packet.payload)
+        elif mt is CollMsgType.COLL_RELEASE:
+            self._release_logic(packet.payload)
+        else:  # pragma: no cover - CollMsgType() above already raises
+            raise SimulationError(f"unhandled collective message {mt!r}")
+        return None
+
+    # ------------------------------------------------------------- helpers --
+    def _check_reducer(self, op: str) -> None:
+        if op not in REDUCERS:
+            raise CollectiveError(
+                f"unknown reducer {op!r} (have {sorted(REDUCERS)})")
+
+    def _check_node(self, node: int) -> int:
+        if not 0 <= node < self.nprocs:
+            raise CollectiveError(
+                f"node {node} out of range (nprocs={self.nprocs})")
+        return node
+
+    def _bump_seq(self, coll_id: int) -> int:
+        seq = self._next_seq.get(coll_id, 0)
+        self._next_seq[coll_id] = seq + 1
+        return seq
+
+    def _finish_op(self, op: str, t0: float) -> None:
+        self._m_ops.inc()
+        self._op_ns[op].observe(self.sim.now - t0)
+
+    def _app_send(self, dst: int, msg_type: CollMsgType, body) -> Generator:
+        """Send from the application thread (ADC store on the CNI, kernel
+        trap on the standard interface) — mirrors DsmEngine._app_send."""
+        from ..core.adc import TransmitDescriptor
+
+        desc = TransmitDescriptor(
+            dst_node=dst,
+            vaddr=None,
+            length=body.wire_bytes,
+            handler_key=int(msg_type),
+            payload=body,
+            channel_id=self.node.dsm_channel_id,
+            kind=PacketKind.COLLECTIVE,
+        )
+        t0 = self.sim.now
+        yield from self.node.nic.host_send(desc)
+        self.node.account_overhead(self.sim.now - t0)
+        self._m_bytes.inc(body.wire_bytes)
+        return None
+
+    def _send_release(self, dst: int, msg: CollRelease) -> None:
+        """Queue a release from the engine (board-originated)."""
+        self._m_releases.inc()
+        self._m_bytes.inc(msg.wire_bytes)
+        self.node.nic.board_send(
+            Packet(
+                kind=PacketKind.COLLECTIVE,
+                src_node=self.me,
+                dst_node=dst,
+                channel_id=self.node.dsm_channel_id,
+                handler_key=int(CollMsgType.COLL_RELEASE),
+                payload_bytes=msg.wire_bytes,
+                payload=msg,
+            )
+        )
+
+    # ------------------------------------------------------ wait machinery --
+    def _register_wait(self, key, outstanding: int = 1) -> _Waiter:
+        if key in self._waiters:
+            raise SimulationError(
+                f"node {self.me}: duplicate collective wait on {key}")
+        w = _Waiter(event=self.sim.event(), outstanding=outstanding)
+        self._waiters[key] = w
+        return w
+
+    def _wake(self, key, value=None) -> None:
+        w = self._waiters.get(key)
+        if w is None:
+            raise SimulationError(
+                f"node {self.me}: spurious collective wake of {key}")
+        w.outstanding -= 1
+        if w.outstanding <= 0:
+            del self._waiters[key]
+            w.event.trigger(value)
+
+    def _wait(self, w: _Waiter) -> Generator:
+        """Block the app thread on ``w``; charge delay + wake overhead."""
+        t0 = self.sim.now
+        self.node.app_blocked = True
+        try:
+            value = yield w.event
+        finally:
+            self.node.app_blocked = False
+        self.node.account_delay(self.sim.now - t0)
+        wake_ns = self.node.nic.rx_wake_overhead_ns()
+        yield wake_ns
+        self.node.account_overhead(wake_ns)
+        return value
+
+    def _await_release(self, key) -> Generator:
+        """Wait for a release that may already have been delivered
+        (broadcast/multicast destinations can block after the packet
+        lands; the handler parks the value in ``_pending``)."""
+        if key in self._pending:
+            return self._pending.pop(key)
+        w = self._register_wait(key)
+        value = yield from self._wait(w)
+        return value
+
+
+class NicCollectiveEngine(CollectiveEngine):
+    """Gather/release runs inside AIH handlers on the NI processor."""
+
+    resident = True
+    name = "nic"
+
+    def __init__(self, node, nprocs: int, root: int = 0):
+        if node.interface != "cni" or not node.params.use_aih:
+            raise CollectiveError(
+                "NIC-resident collectives need a CNI with AIH support "
+                f"(interface={node.interface!r}, "
+                f"use_aih={node.params.use_aih})")
+        super().__init__(node, nprocs, root)
+
+    def _charge_rx(self, on_board: bool) -> float:
+        if not on_board:
+            raise SimulationError(
+                f"node {self.me}: NIC-resident collective handler "
+                "dispatched on the host")
+        self._m_nic_steps.inc()
+        return self.params.ni_cycles_ns(self.params.ni_aih_protocol_cycles)
+
+
+class HostCollectiveEngine(CollectiveEngine):
+    """Gather/release runs on the host CPU (the paper's baseline)."""
+
+    name = "host"
+
+    def _charge_rx(self, on_board: bool) -> float:
+        p = self.params
+        self._m_host_steps.inc()
+        self._m_host_intr.inc()
+        ns = p.cpu_cycles_ns(p.host_protocol_cycles)
+        if on_board:
+            # CNI trampoline: the board handler's only job is bouncing
+            # the packet to the host (interrupt + kernel dispatch), where
+            # the real protocol step then runs.
+            ns += p.interrupt_latency_ns + p.cpu_cycles_ns(
+                p.kernel_trap_cycles)
+        self.node.steal_host_time(ns, Category.SYNCH_OVERHEAD)
+        return ns
+
+
+def resolve_engine_kind(params: SimParams, interface: str) -> str:
+    """Which engine a platform gets: an explicit ``params.collectives``
+    wins (``"nic"`` is rejected later if the platform can't run it);
+    ``None`` follows the platform — NIC-resident on a CNI with AIH,
+    host-based everywhere else (matching pre-collectives behaviour,
+    where protocol handlers ran wherever the interface put them)."""
+    if params.collectives is not None:
+        return params.collectives
+    return "nic" if (interface == "cni" and params.use_aih) else "host"
+
+
+def make_collective_engine(node, nprocs: int, root: int = 0) -> CollectiveEngine:
+    """Build the collective engine for ``node`` per its platform/params."""
+    kind = resolve_engine_kind(node.params, node.interface)
+    if kind == "nic":
+        return NicCollectiveEngine(node, nprocs, root)
+    return HostCollectiveEngine(node, nprocs, root)

@@ -1,0 +1,18 @@
+"""Typed errors for the collective-operations subsystem.
+
+Shared with :mod:`repro.dsm.barrier`, whose episode bookkeeping predates
+this package: a duplicate arrival or an out-of-range participant is the
+same protocol violation whether the gather runs in the DSM barrier
+manager or in a collective engine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CollectiveError"]
+
+
+class CollectiveError(ValueError):
+    """A collective-protocol violation (duplicate arrival, unknown
+    participant, mismatched operation, unsupported engine/platform
+    combination).  Subclasses :class:`ValueError` so callers that
+    predate the typed hierarchy keep working."""

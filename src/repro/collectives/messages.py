@@ -1,0 +1,74 @@
+"""Wire messages and PATHFINDER keys for collective operations.
+
+Collective packets travel as :data:`~repro.network.PacketKind.COLLECTIVE`
+with the :class:`CollMsgType` in the ``handler_key`` header field —
+exactly where the DSM protocol keeps its :class:`~repro.dsm.messages.MsgType`,
+so the same masked byte-pattern scheme classifies both (offset 0 selects
+the kind, offsets 8-9 select the handler).  The key spaces are disjoint:
+DSM owns 0x10-0x41, collectives own 0x50+.
+
+Wire sizes reuse the DSM convention: a fixed
+:data:`~repro.dsm.messages.MSG_BASE_BYTES` header plus the operation
+payload, which each message carries explicitly (``payload_bytes``) so a
+barrier arrival piggybacking consistency intervals prices exactly what
+the pre-collectives BarrierArrive did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+from ..dsm.messages import MSG_BASE_BYTES
+
+__all__ = [
+    "CollMsgType",
+    "CollArrive",
+    "CollRelease",
+    "COLL_HANDLER_CODE_BYTES",
+]
+
+#: AIH object-code footprint of the collective protocol's handlers
+#: (gather + release), resident alongside the DSM protocol's 48 KB.
+COLL_HANDLER_CODE_BYTES = 16 * 1024
+
+
+class CollMsgType(IntEnum):
+    """Collective protocol messages; the value doubles as the PATHFINDER
+    handler key (disjoint from :class:`repro.dsm.messages.MsgType`)."""
+
+    COLL_ARRIVE = 0x50   # participant -> root: join the gather
+    COLL_RELEASE = 0x51  # root -> participant: gather complete / payload
+
+
+@dataclass
+class CollArrive:
+    """One participant's arrival at a collective episode."""
+
+    coll_id: int
+    op: str              # "barrier" | "allreduce" | "reduce" | ...
+    seq: int             # per-coll_id episode sequence number
+    arriver: int
+    reducer: str         # combining function name ("sum" unless reducing)
+    value: Any           # contribution (reductions) or attachment (barrier)
+    payload_bytes: int   # wire size of ``value``
+
+    @property
+    def wire_bytes(self) -> int:
+        return MSG_BASE_BYTES + self.payload_bytes
+
+
+@dataclass
+class CollRelease:
+    """The root's release: the episode completed; deliver the result."""
+
+    coll_id: int
+    op: str
+    seq: int
+    value: Any           # combined result / broadcast value / attachment
+    payload_bytes: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return MSG_BASE_BYTES + self.payload_bytes

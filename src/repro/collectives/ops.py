@@ -1,0 +1,64 @@
+"""Combining functions and wire sizing for reduction collectives.
+
+Values are scalars (int/float) or flat sequences of scalars; sequences
+combine elementwise.  Combination order is fixed (fold over ascending
+node rank) so results are bit-identical across engines and ``--jobs``
+values even for floating-point data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .errors import CollectiveError
+
+__all__ = ["REDUCERS", "combine", "reduce_values", "value_wire_bytes"]
+
+#: Elementwise binary combiners available to reduce/all-reduce.
+REDUCERS = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+}
+
+#: Simulated wire size of one scalar element (64-bit word).
+_SCALAR_BYTES = 8
+
+
+def combine(reducer: str, a: Any, b: Any) -> Any:
+    """Combine two contributions (scalar or elementwise on sequences)."""
+    try:
+        fn = REDUCERS[reducer]
+    except KeyError:
+        raise CollectiveError(
+            f"unknown reducer {reducer!r} (have {sorted(REDUCERS)})"
+        ) from None
+    if isinstance(a, (list, tuple)):
+        if not isinstance(b, (list, tuple)) or len(a) != len(b):
+            raise CollectiveError(
+                f"reduce contributions disagree on shape: {a!r} vs {b!r}")
+        return [fn(x, y) for x, y in zip(a, b)]
+    return fn(a, b)
+
+
+def reduce_values(reducer: str, values: Dict[int, Any]) -> Any:
+    """Fold contributions in ascending node order (deterministic)."""
+    if not values:
+        raise CollectiveError("reduce with no contributions")
+    acc = None
+    for node in sorted(values):
+        v = values[node]
+        acc = v if acc is None else combine(reducer, acc, v)
+    if isinstance(acc, tuple):
+        acc = list(acc)
+    return acc
+
+
+def value_wire_bytes(value: Any) -> int:
+    """Simulated payload size of a collective value."""
+    if value is None:
+        return 0
+    if isinstance(value, (list, tuple)):
+        return _SCALAR_BYTES * len(value)
+    return _SCALAR_BYTES

@@ -48,6 +48,12 @@ class TransmitDescriptor:
     """Whether the reliable transport (when enabled) tracks the packet
     built from this descriptor; False opts a send out (best effort)."""
 
+    kind: Any = None
+    """Optional :class:`~repro.network.PacketKind` override for the
+    packet built from this descriptor.  ``None`` keeps the classic
+    inference (DATA, or DSM_PROTOCOL/DSM_PAGE when a handler key is
+    set); the collectives subsystem sets COLLECTIVE explicitly."""
+
     def __post_init__(self):
         if self.length < 0:
             raise ValueError("negative transmit length")

@@ -135,6 +135,29 @@ class CNIInterface(NetworkInterface):
             )
         return swap_ns
 
+    def install_collective_handler(self, key: int, fn, code_size: int) -> float:
+        """Swap in a collective AIH and program its activation pattern.
+
+        Same scheme as :meth:`install_protocol_handler`, but collective
+        traffic travels under a single packet kind
+        (:data:`~repro.network.PacketKind.COLLECTIVE`), so one pattern
+        per handler key suffices.  Returns the swap-in time.
+        """
+        swap_ns = self.handlers.install(key, fn, code_size)
+        self.pathfinder.install(
+            Pattern(
+                elements=(
+                    PatternElement(offset=0, length=1, mask=0xFF,
+                                   value=int(PacketKind.COLLECTIVE)),
+                    # header bytes 8-9: handler key
+                    PatternElement(offset=8, length=2, mask=0xFFFF,
+                                   value=key),
+                ),
+                target=(AIH_TARGET, key),
+            )
+        )
+        return swap_ns
+
     # -- host send path ------------------------------------------------------------
     def host_send_cost_ns(self) -> float:
         """User-level enqueue: a few stores onto the ADC transmit ring."""

@@ -134,13 +134,16 @@ class NetworkInterface:
                 yield from self._transmit_one(item)
 
     def _packet_from_descriptor(self, desc: TransmitDescriptor) -> Packet:
-        kind = PacketKind.DATA
-        if desc.handler_key:
+        if desc.kind is not None:
+            kind = PacketKind(desc.kind)
+        elif desc.handler_key:
             kind = (
                 PacketKind.DSM_PAGE
                 if desc.vaddr is not None
                 else PacketKind.DSM_PROTOCOL
             )
+        else:
+            kind = PacketKind.DATA
         return Packet(
             kind=kind,
             src_node=self.node_id,

@@ -113,7 +113,8 @@ class StandardInterface(NetworkInterface):
         )
         yield host_ns
 
-        if packet.kind in (PacketKind.DSM_PROTOCOL, PacketKind.DSM_PAGE):
+        if packet.kind in (PacketKind.DSM_PROTOCOL, PacketKind.DSM_PAGE,
+                           PacketKind.COLLECTIVE):
             if self.protocol_sink is None:
                 self.packets_dropped += 1
                 return

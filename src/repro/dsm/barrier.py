@@ -5,13 +5,19 @@ applications.  The manager (node 0) gathers one arrival — carrying the
 arriver's new intervals — from every participant, merges the interval
 sets, and broadcasts a release carrying the merged set; arrival is a
 release operation, departure an acquire.
+
+Protocol violations (duplicate arrival, out-of-range participant) raise
+:class:`~repro.collectives.CollectiveError`, the typed error shared with
+the collective-operations subsystem that now carries the gather/release
+transport (see docs/collectives.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
+from ..collectives.errors import CollectiveError
 from .interval import Interval
 
 
@@ -22,11 +28,19 @@ class BarrierEpisode:
     episode: int
     arrived: Set[int] = field(default_factory=set)
     intervals: List[Interval] = field(default_factory=list)
+    nprocs: Optional[int] = None
+    """Participant count, for arrival validation (None skips the
+    range check, for standalone episode objects)."""
 
     def arrive(self, node: int, intervals: List[Interval]) -> None:
         """Register one participant's arrival."""
+        if self.nprocs is not None and not 0 <= node < self.nprocs:
+            raise CollectiveError(
+                f"unknown participant {node} at episode {self.episode} "
+                f"(nprocs={self.nprocs})")
         if node in self.arrived:
-            raise ValueError(f"node {node} arrived twice at episode {self.episode}")
+            raise CollectiveError(
+                f"node {node} arrived twice at episode {self.episode}")
         self.arrived.add(node)
         self.intervals.extend(intervals)
 
@@ -36,7 +50,7 @@ class BarrierManager:
 
     def __init__(self, nprocs: int):
         if nprocs < 1:
-            raise ValueError("need at least one participant")
+            raise CollectiveError("need at least one participant")
         self.nprocs = nprocs
         self._episodes: Dict[int, BarrierEpisode] = {}
         self._episode_counter: Dict[int, int] = {}
@@ -49,7 +63,7 @@ class BarrierManager:
         if ep is None:
             n = self._episode_counter.get(barrier_id, 0) + 1
             self._episode_counter[barrier_id] = n
-            ep = BarrierEpisode(episode=n)
+            ep = BarrierEpisode(episode=n, nprocs=self.nprocs)
             self._episodes[barrier_id] = ep
         ep.arrive(node, intervals)
         return ep

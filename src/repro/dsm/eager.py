@@ -23,7 +23,7 @@ from typing import Generator, List
 from ..engine import SimulationError
 from ..network import Packet
 from .interval import Interval, WriteNotice
-from .messages import BarrierArrive, InvAck, Invalidate, MsgType
+from .messages import InvAck, Invalidate, MsgType
 from .protocol import DsmEngine
 
 
@@ -84,28 +84,12 @@ class EagerDsmEngine(DsmEngine):
         msg = LockGrant(lock_id=lock_id, granter=self.me, intervals=[])
         self._send(requester, MsgType.LOCK_GRANT, msg, msg.wire_bytes)
 
-    def barrier(self, barrier_id: int = 0) -> Generator:
+    def _barrier_payload(self):
         """Barriers degenerate to pure arrival counting under eager RC
-        (the notices travelled at the releases)."""
-        self.node.counters.inc("dsm_barriers")
-        yield from self.end_interval()
-        w = self._register_wait(("barrier", barrier_id))
-        mgr = self.homes.barrier_manager
-        msg = BarrierArrive(
-            barrier_id=barrier_id, arriver=self.me, episode=0,
-            intervals=[], vc=self.vc.as_list(),
-        )
-        if mgr == self.me:
-            cost = self.params.cpu_cycles_ns(self.params.host_protocol_cycles)
-            yield cost
-            self.node.account_overhead(cost)
-            self._barrier_arrive_logic(msg)
-        else:
-            yield from self._app_send(
-                mgr, MsgType.BARRIER_ARRIVE, msg, msg.wire_bytes
-            )
-        yield from self._wait(w)
-        return None
+        (the notices travelled at the releases): the attachment carries
+        no intervals, only the vector clock."""
+        vc = self.vc.as_list()
+        return ([], vc), 8 * len(vc)
 
     # -- new message handlers ------------------------------------------------
     def handle_packet(self, packet: Packet, on_board: bool) -> Generator:

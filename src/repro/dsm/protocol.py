@@ -44,8 +44,6 @@ from .directory import HomePolicy
 from .interval import Interval, IntervalLog, WriteCollector, WriteNotice
 from .locks import LocalLockTable, LockManagerTable
 from .messages import (
-    BarrierArrive,
-    BarrierRelease,
     DiffReply,
     DiffReq,
     LockForward,
@@ -54,6 +52,7 @@ from .messages import (
     MsgType,
     PageReply,
     PageReq,
+    intervals_wire_bytes,
 )
 from .page import NodePageTable, PageState, SharedSegment
 from .vector_clock import VectorClock
@@ -98,6 +97,9 @@ class DsmEngine:
             BarrierManager(nprocs) if self.me == homes.barrier_manager else None
         )
         self._barrier_sent_seq = 0
+        #: Arrivers' vector clocks for in-flight barriers, kept by the
+        #: manager between gather and release (collective attachment).
+        self._barrier_vcs: Dict[Tuple[int, int], List[int]] = {}
         self._waiters: Dict[Any, _Waiter] = {}
         #: Served diff sizes: (page, seq) -> bytes, kept after release so
         #: concurrent writers' diff requests can be answered and priced.
@@ -421,32 +423,59 @@ class DsmEngine:
         """Cross a barrier (application thread).
 
         Arrival is a release (interval close + notices to the manager);
-        departure is an acquire (apply everyone's intervals).
+        departure is an acquire (apply everyone's intervals).  The
+        gather/release transport is the collective engine
+        (``node.coll``, :mod:`repro.collectives`); this engine rides it
+        as the barrier's *consistency attachment* — the interval payload
+        travels inside the collective packets and the attachment hooks
+        below run at the root/participants, reproducing the standalone
+        barrier protocol's messages and costs exactly.
         """
         self.node.counters.inc("dsm_barriers")
         yield from self.end_interval()
+        payload, payload_bytes = self._barrier_payload()
+        yield from self.node.coll.barrier(
+            barrier_id, payload=payload, payload_bytes=payload_bytes)
+        return None
+
+    def _barrier_payload(self) -> Tuple[Any, int]:
+        """This node's arrival attachment: (payload, wire bytes)."""
         own = [
             iv for iv in self.ilog.intervals_of(self.me)
             if iv.seq > self._barrier_sent_seq
         ]
         self._barrier_sent_seq = self.ilog.known_seq(self.me)
-        w = self._register_wait(("barrier", barrier_id))
-        mgr = self.homes.barrier_manager
-        msg = BarrierArrive(
-            barrier_id=barrier_id, arriver=self.me, episode=0,
-            intervals=own, vc=self.vc.as_list(),
-        )
-        if mgr == self.me:
-            cost = self.params.cpu_cycles_ns(self.params.host_protocol_cycles)
-            yield cost
-            self.node.account_overhead(cost)
-            self._barrier_arrive_logic(msg)
-        else:
-            yield from self._app_send(
-                mgr, MsgType.BARRIER_ARRIVE, msg, msg.wire_bytes,
-            )
-        yield from self._wait(w)
-        return None
+        vc = self.vc.as_list()
+        return (own, vc), intervals_wire_bytes(own) + 8 * len(vc)
+
+    # ------------------------------------- collective attachment (barrier) --
+    # Hooks called by the collective engine (docs/collectives.md): the
+    # root-side pair runs on whatever platform executes the gather (NI
+    # processor or host CPU); the participant-side hook runs where the
+    # release packet is handled.
+    def coll_on_arrive(self, coll_id: int, arriver: int, payload) -> None:
+        """Root gather step: log the arriver's intervals + vector clock."""
+        assert self.barrier_mgr is not None, "not the barrier manager"
+        intervals, vc = payload
+        for iv in intervals:
+            self.ilog.record(iv)
+        self.barrier_mgr.arrive(coll_id, arriver, intervals)
+        self._barrier_vcs[(coll_id, arriver)] = list(vc)
+
+    def coll_gather_complete(self, coll_id: int) -> None:
+        """Root: everyone arrived; close the episode."""
+        self.barrier_mgr.complete(coll_id)
+
+    def coll_make_release(self, coll_id: int, node: int) -> Tuple[Any, int]:
+        """Root: build ``node``'s release payload (the intervals that
+        node's vector clock says it lacks) and its wire size."""
+        their_vc = self._barrier_vcs.pop((coll_id, node), [0] * self.nprocs)
+        intervals = self.ilog.missing_for(their_vc)
+        return intervals, intervals_wire_bytes(intervals)
+
+    def coll_on_release(self, coll_id: int, payload) -> None:
+        """Participant departure: acquire-apply the missing intervals."""
+        self._apply_intervals(payload)
 
     # ------------------------------------------------------- board/host handlers --
     def handle_packet(self, packet: Packet, on_board: bool) -> Generator:
@@ -474,11 +503,6 @@ class DsmEngine:
             yield from self._diff_req_logic(body, on_board)
         elif mt == MsgType.DIFF_REPLY:
             yield from self._install_diffs(packet, body)
-        elif mt == MsgType.BARRIER_ARRIVE:
-            self._barrier_arrive_logic(body)
-        elif mt == MsgType.BARRIER_RELEASE:
-            self._apply_intervals(body.intervals)
-            self._wake(("barrier", body.barrier_id))
         else:  # pragma: no cover - MsgType() above would have raised
             raise SimulationError(f"unknown protocol message {mt}")
         return None
@@ -602,28 +626,3 @@ class DsmEngine:
         self._wake(("page", msg.page))
         return None
 
-    # barrier handlers ----------------------------------------------------------
-    def _barrier_arrive_logic(self, msg: BarrierArrive) -> None:
-        assert self.barrier_mgr is not None, "not the barrier manager"
-        for iv in msg.intervals:
-            self.ilog.record(iv)
-        ep = self.barrier_mgr.arrive(msg.barrier_id, msg.arriver, msg.intervals)
-        self._barrier_vcs = getattr(self, "_barrier_vcs", {})
-        self._barrier_vcs[(msg.barrier_id, msg.arriver)] = list(msg.vc)
-        if not self.barrier_mgr.is_complete(msg.barrier_id):
-            return
-        ep = self.barrier_mgr.complete(msg.barrier_id)
-        for node in range(self.nprocs):
-            their_vc = self._barrier_vcs.pop(
-                (msg.barrier_id, node), [0] * self.nprocs
-            )
-            intervals = self.ilog.missing_for(their_vc)
-            out = BarrierRelease(
-                barrier_id=msg.barrier_id, episode=ep.episode,
-                intervals=intervals,
-            )
-            if node == self.me:
-                self._apply_intervals(intervals)
-                self._wake(("barrier", msg.barrier_id))
-            else:
-                self._send(node, MsgType.BARRIER_RELEASE, out, out.wire_bytes)

@@ -6,6 +6,7 @@
 
 from .experiments import (
     bandwidth_microbenchmark,
+    collective_latency_experiment,
     fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
@@ -44,6 +45,7 @@ __all__ = [
     "active_scale",
     "ascii_plot",
     "bandwidth_microbenchmark",
+    "collective_latency_experiment",
     "default_jobs",
     "execute_run",
     "fault_sweep_experiment",

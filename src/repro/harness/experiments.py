@@ -352,6 +352,82 @@ def fault_sweep_experiment(
     return result
 
 
+def _coll_mean_op_us(metrics: Dict[str, object], op: str) -> float:
+    """Mean app-observed latency of one collective op, in microseconds,
+    from the per-node ``node<i>.coll.<op>_ns`` histograms (summing count
+    and sum across nodes; :func:`aggregate_nodes` would reduce a
+    histogram to its count only)."""
+    total = 0.0
+    count = 0.0
+    suffix = f".coll.{op}_ns"
+    for mname, value in metrics.items():
+        if mname.endswith(suffix) and isinstance(value, dict):
+            total += float(value.get("sum", 0.0))
+            count += float(value.get("count", 0))
+    return total / count / 1e3 if count else 0.0
+
+
+def collective_latency_experiment(
+    procs: Sequence[int],
+    rounds: int = 8,
+    base_params: Optional[SimParams] = None,
+    name: str = "",
+    jobs: Optional[int] = None,
+) -> SeriesResult:
+    """Collectives extension (not a paper figure): mean barrier and
+    all-reduce latency vs processor count, NIC-resident engine (CNI)
+    against the host-based engine (standard interface).
+
+    The NIC rows are *asserted* interrupt-free: the run fails if any
+    ``coll.host_steps`` / ``coll.host_interrupts`` were counted, or if
+    a multi-node run shows no AIH dispatches — the zero-host-interrupt
+    claim is checked, not assumed.  See docs/collectives.md.
+    """
+    from ..collectives import CollBenchConfig
+
+    base = base_params or SimParams()
+    result = SeriesResult(
+        name=name or "collectives-latency",
+        x_label="processors",
+        xs=[float(p) for p in procs],
+    )
+    combos = (("nic", "cni"), ("host", "standard"))
+    specs = []
+    for p in procs:
+        for engine, iface in combos:
+            params = base.replace(num_processors=int(p),
+                                  collectives=engine)
+            for op in ("barrier", "allreduce"):
+                specs.append(RunSpec(
+                    "collbench", params, iface,
+                    CollBenchConfig(op=op, rounds=rounds),
+                    meta=(("coll_engine", engine), ("coll_op", op)),
+                ))
+    runs = run_map(specs, jobs=jobs)
+    for spec, stats in zip(specs, runs):
+        meta = dict(spec.meta)
+        engine, op = meta["coll_engine"], meta["coll_op"]
+        result.add_point(f"{engine}_{op}_us",
+                         _coll_mean_op_us(stats.metrics, op))
+        if engine == "nic":
+            agg = aggregate_nodes(stats.metrics)
+            hosted = (agg.get("coll.host_steps", 0.0)
+                      + agg.get("coll.host_interrupts", 0.0))
+            if hosted:
+                raise AssertionError(
+                    f"NIC-resident collectives took {hosted:.0f} host "
+                    f"protocol steps ({spec.describe()})")
+            if (spec.params.num_processors > 1
+                    and agg.get("nic.aih.dispatches", 0.0) <= 0):
+                raise AssertionError(
+                    "NIC-resident collectives dispatched no AIH handlers "
+                    f"({spec.describe()})")
+    result.validate()
+    result.notes = (f"{rounds} rounds/run; NIC rows asserted "
+                    "interrupt-free on the collective path")
+    return result
+
+
 def table1_parameters() -> TableResult:
     """Table 1: the simulation parameters actually in force."""
     p = SimParams()

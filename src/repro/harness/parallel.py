@@ -87,11 +87,13 @@ class RunSpec:
     :class:`~repro.params.SimParams` (including any
     :class:`~repro.faults.FaultPlan`), ``workload`` one of the app config
     dataclasses (:class:`~repro.apps.JacobiConfig`,
-    :class:`~repro.apps.WaterConfig`, :class:`~repro.apps.CholeskyConfig`).
+    :class:`~repro.apps.WaterConfig`, :class:`~repro.apps.CholeskyConfig`,
+    :class:`~repro.collectives.CollBenchConfig`).
     """
 
     app: str
-    """Application kernel: ``jacobi``, ``water`` or ``cholesky``."""
+    """Application kernel: ``jacobi``, ``water``, ``cholesky`` or
+    ``collbench`` (the collective microbenchmark)."""
 
     params: SimParams
     """Full simulation configuration (processor count, fault plan, ...)."""
@@ -145,6 +147,11 @@ def execute_run(spec: RunSpec, index: int = 0) -> RunStats:
         return run_water(spec.params, spec.interface, spec.workload)[0]
     if spec.app == "cholesky":
         return run_cholesky(spec.params, spec.interface, spec.workload)[0]
+    if spec.app == "collbench":
+        from ..collectives.bench import run_collective_bench
+
+        return run_collective_bench(
+            spec.params, spec.interface, spec.workload)[0]
     raise ValueError(f"unknown app {spec.app!r}")
 
 

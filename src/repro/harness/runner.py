@@ -19,6 +19,8 @@ Usage::
     python -m repro.harness all --metrics out/          # + metrics JSON per exp
     python -m repro.harness metrics --app water         # per-node metric table
     python -m repro.harness faults                      # loss-rate sweep
+    python -m repro.harness collectives                 # NIC vs host engines
+    python -m repro.harness fig4 --collectives host     # force an engine
     python -m repro.harness fig2 --fault-plan 'seed=7;cell_loss(rate=0.01)'
 
 ``--jobs N`` fans an experiment's independent simulation runs across N
@@ -48,6 +50,7 @@ from ..apps import (
 )
 from ..params import SimParams
 from .experiments import (
+    collective_latency_experiment,
     fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
@@ -83,6 +86,7 @@ class Scale:
     mcache_sizes: Sequence[int]
     message_sizes: Sequence[int]
     loss_rates: Sequence[float]
+    coll_rounds: int = 8
 
 
 QUICK = Scale(
@@ -102,6 +106,7 @@ QUICK = Scale(
     mcache_sizes=(8192, 16384, 32768, 65536, 131072, 262144),
     message_sizes=(0, 512, 1024, 2048, 3072, 4096),
     loss_rates=(0.0, 0.002, 0.01),
+    coll_rounds=6,
 )
 
 PAPER = Scale(
@@ -121,6 +126,7 @@ PAPER = Scale(
     mcache_sizes=(8192, 32768, 131072, 262144, 524288, 1048576),
     message_sizes=(0, 512, 1024, 2048, 3072, 4096),
     loss_rates=(0.0, 0.001, 0.005, 0.01, 0.02),
+    coll_rounds=24,
 )
 
 
@@ -286,6 +292,15 @@ def exp_faults(scale: Scale, base: Optional[SimParams] = None) -> Result:
                                   base_params=base, name="faults-jacobi")
 
 
+def exp_collectives(scale: Scale, base: Optional[SimParams] = None) -> Result:
+    """Collectives extension: barrier/all-reduce latency vs processor
+    count, NIC-resident vs host-based engine (docs/collectives.md)."""
+    return collective_latency_experiment(scale.procs,
+                                         rounds=scale.coll_rounds,
+                                         base_params=base,
+                                         name="collectives-latency")
+
+
 EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "table1": exp_table1,
     "fig2": exp_fig2,
@@ -306,6 +321,7 @@ EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "fig14": exp_fig14,
     "table5": exp_table5,
     "faults": exp_faults,
+    "collectives": exp_collectives,
 }
 
 
@@ -342,6 +358,7 @@ def main(argv: List[str] = None) -> int:
     csv_dir = _take_option(argv, "--csv")
     metrics_dir = _take_option(argv, "--metrics")
     fault_spec = _take_option(argv, "--fault-plan")
+    coll_arg = _take_option(argv, "--collectives")
     jobs_arg = _take_option(argv, "--jobs")
     results_dir = _take_option(argv, "--results") or "results"
     from .parallel import set_default_jobs
@@ -365,6 +382,13 @@ def main(argv: List[str] = None) -> int:
                                           reliable_transport=True)
         print(f"fault plan: {base_params.fault_plan.describe()} "
               f"(reliable transport on)")
+    if coll_arg:
+        if coll_arg not in ("nic", "host"):
+            print(f"--collectives: {coll_arg!r} must be 'nic' or 'host'")
+            return 1
+        base_params = (base_params or SimParams()).replace(
+            collectives=coll_arg)
+        print(f"collectives engine forced: {coll_arg}")
     scale = PAPER if (full or os.environ.get("REPRO_FULL") == "1") else QUICK
     if not argv:
         print(__doc__)

@@ -44,6 +44,11 @@ class PacketKind(enum.IntEnum):
     NI processors themselves (never dispatched to the host; see
     docs/reliability.md)."""
 
+    COLLECTIVE = 6
+    """Collective-operation protocol (barrier/reduce/broadcast arrivals
+    and releases; see docs/collectives.md).  On a CNI the PATHFINDER
+    classifies these into collective AIH handlers."""
+
 
 FLAG_CACHEABLE = 0x01
 """Header flag: this buffer should be entered into the Message Cache

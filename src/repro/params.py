@@ -226,6 +226,14 @@ class SimParams:
     for a loss-free network.  (Typed loosely to keep ``repro.params``
     import-cycle-free; validated structurally.)"""
 
+    # ------------------------------------------------------------ collectives
+    collectives: Optional[str] = None
+    """Collective-operations engine: ``"nic"`` (AIH-resident gather and
+    release on the NI processor, zero host interrupts; requires a CNI
+    with ``use_aih``), ``"host"`` (host-CPU protocol steps, the paper's
+    baseline), or None to follow the platform — NIC-resident on a CNI
+    with AIH, host-based otherwise.  See docs/collectives.md."""
+
     # --------------------------------------------------------------- cluster
     num_processors: int = 8
     """Workstations in the cluster (one application thread per node)."""
@@ -379,6 +387,10 @@ class SimParams:
             raise ValueError("reliab_backoff must be >= 1 (timeouts never shrink)")
         if self.reliab_max_attempts < 1:
             raise ValueError("reliab_max_attempts must allow at least one send")
+        if self.collectives not in (None, "nic", "host"):
+            raise ValueError(
+                f"collectives={self.collectives!r} must be None, 'nic' "
+                "or 'host'")
         if self.fault_plan is not None:
             validate = getattr(self.fault_plan, "validate", None)
             activate = getattr(self.fault_plan, "activate", None)

@@ -12,6 +12,11 @@ from typing import Callable, Generator, List, Optional
 
 import numpy as np
 
+from ..collectives import (
+    COLL_HANDLER_CODE_BYTES,
+    CollMsgType,
+    make_collective_engine,
+)
 from ..dsm import DsmEngine, HomePolicy, MsgType, SharedSegment
 from ..dsm.eager import EagerDsmEngine
 from ..engine import Counters, RunStats, SimulationError, Simulator, Tracer
@@ -101,7 +106,13 @@ class Cluster:
             engine = engine_cls(node, self.segment, self.homes,
                                 params.num_processors)
             node.engine = engine
-            node.nic.set_protocol_sink(engine.handle_packet)
+            # Collective engine (repro.collectives): the DSM barrier and
+            # the app-facing collective API both run through it; the DSM
+            # engine rides along as the barrier's consistency attachment.
+            node.coll = make_collective_engine(
+                node, params.num_processors, root=self.homes.barrier_manager)
+            node.coll.consistency = engine
+            node.nic.set_protocol_sink(node.dispatch_protocol_packet)
         self._setup_connections()
         self._ran = False
 
@@ -137,6 +148,15 @@ class Cluster:
                 for mt in MsgType:
                     node.nic.install_protocol_handler(
                         int(mt), node.engine.handle_packet, per_type
+                    )
+                # Collective AIHs: with the NIC-resident engine these
+                # hold the gather/release protocol; with the host engine
+                # the same patterns classify the packets but the handler
+                # is a bounce-to-host trampoline (the engine prices it).
+                per_coll = COLL_HANDLER_CODE_BYTES // len(CollMsgType)
+                for cmt in CollMsgType:
+                    node.nic.install_collective_handler(
+                        int(cmt), node.coll.handle_packet, per_coll
                     )
             else:
                 node.dsm_channel_id = 1

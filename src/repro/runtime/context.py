@@ -141,6 +141,37 @@ class Context:
         yield from self.engine.barrier(barrier_id)
         return None
 
+    # ------------------------------------- collectives (docs/collectives.md) --
+    def allreduce(self, value, op: str = "sum", coll_id: int = 0) -> Generator:
+        """Combine ``value`` (scalar or flat sequence, elementwise)
+        across all nodes; every node returns the combined result."""
+        result = yield from self.node.coll.allreduce(
+            value, op=op, coll_id=coll_id)
+        return result
+
+    def reduce(self, value, op: str = "sum", root: Optional[int] = None,
+               coll_id: int = 0) -> Generator:
+        """Combine ``value`` at the root; the root returns the result,
+        everyone else returns ``None`` without blocking."""
+        result = yield from self.node.coll.reduce(
+            value, op=op, root=root, coll_id=coll_id)
+        return result
+
+    def broadcast(self, value=None, root: Optional[int] = None,
+                  coll_id: int = 0) -> Generator:
+        """Return the root's ``value`` on every node (one-to-all)."""
+        result = yield from self.node.coll.broadcast(
+            value, root=root, coll_id=coll_id)
+        return result
+
+    def multicast(self, value=None, dests=(), src: Optional[int] = None,
+                  coll_id: int = 0) -> Generator:
+        """One-to-some: destinations return the source's ``value``,
+        non-participants fall through with ``None``."""
+        result = yield from self.node.coll.multicast(
+            value, dests=dests, src=src, coll_id=coll_id)
+        return result
+
     # -------------------------------------------------------------- messaging --
     def send(self, dst: int, vaddr: int, nbytes: int,
              channel_id: Optional[int] = None,

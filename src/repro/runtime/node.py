@@ -23,7 +23,7 @@ from ..memory import (
     MemoryBus,
     lines_in_range,
 )
-from ..network import Network
+from ..network import Network, PacketKind
 from ..obs import MetricsScope, SpanTracer, private_scope
 from ..params import SimParams
 
@@ -96,6 +96,17 @@ class Node:
         #: Set by Cluster once the DSM channel is open (CNI) / engine built.
         self.dsm_channel_id = 0
         self.engine = None  # set by Cluster.attach_engine
+        self.coll = None  # collective engine, set by Cluster
+
+    def dispatch_protocol_packet(self, packet, on_board: bool):
+        """The node's protocol sink: route an inbound protocol packet to
+        the engine that owns its kind (COLLECTIVE → collective engine,
+        everything else → the DSM engine).  Returns the handler
+        generator; *where* it runs (NI processor vs host CPU) is the
+        caller's ``on_board`` platform fact."""
+        if packet.kind is PacketKind.COLLECTIVE:
+            return self.coll.handle_packet(packet, on_board)
+        return self.engine.handle_packet(packet, on_board)
 
     # ------------------------------------------------------------ accounting --
     def account_compute(self, ns: float) -> None:

@@ -1,0 +1,1 @@
+"""Tests for the collective-operations subsystem (repro.collectives)."""

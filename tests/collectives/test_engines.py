@@ -1,0 +1,232 @@
+"""Collective-engine unit/behaviour tests: op semantics, platform
+selection, typed errors, and the zero-host-interrupt claim."""
+
+import pytest
+
+from repro.collectives import (
+    CollArrive,
+    CollectiveError,
+    HostCollectiveEngine,
+    NicCollectiveEngine,
+    combine,
+    reduce_values,
+    resolve_engine_kind,
+    value_wire_bytes,
+)
+from repro.obs import aggregate_nodes
+from repro.params import SimParams, standard_interface_params
+from repro.runtime import Cluster
+
+#: (engine, interface) platforms every behaviour test runs on; the
+#: (host, cni) row exercises the bounce-to-host trampoline path.
+PLATFORMS = [("nic", "cni"), ("host", "standard"), ("host", "cni")]
+
+
+def make_cluster(nprocs=3, engine=None, interface="cni", **over):
+    params = SimParams().replace(
+        num_processors=nprocs, collectives=engine,
+        dsm_address_space_pages=16, **over)
+    return Cluster(params, interface=interface)
+
+
+# ---------------------------------------------------------------- ops --
+
+def test_combine_and_reduce_values():
+    assert combine("sum", 2, 3) == 5
+    assert combine("max", [1, 9], [5, 2]) == [5, 9]
+    assert reduce_values("prod", {0: 2, 1: 3, 2: 4}) == 24
+    assert reduce_values("min", {1: [4, 5], 0: [2, 9]}) == [2, 5]
+    with pytest.raises(CollectiveError):
+        combine("mean", 1, 2)
+    with pytest.raises(CollectiveError):
+        combine("sum", [1, 2], [1])
+    with pytest.raises(CollectiveError):
+        reduce_values("sum", {})
+    assert value_wire_bytes(None) == 0
+    assert value_wire_bytes(1.0) == 8
+    assert value_wire_bytes([1, 2, 3]) == 24
+
+
+# ------------------------------------------------------- op semantics --
+
+@pytest.mark.parametrize("engine,interface", PLATFORMS)
+def test_allreduce_every_node_gets_combined_value(engine, interface):
+    cluster = make_cluster(3, engine, interface)
+    got = {}
+
+    def kernel(ctx):
+        result = yield from ctx.allreduce([float(ctx.rank), 1.0], op="sum")
+        got[ctx.rank] = result
+
+    cluster.run(kernel)
+    assert got == {0: [3.0, 3.0], 1: [3.0, 3.0], 2: [3.0, 3.0]}
+
+
+@pytest.mark.parametrize("engine,interface", PLATFORMS)
+def test_reduce_only_root_gets_result(engine, interface):
+    cluster = make_cluster(3, engine, interface)
+    got = {}
+
+    def kernel(ctx):
+        result = yield from ctx.reduce(ctx.rank + 1, op="prod", root=1)
+        got[ctx.rank] = result
+        yield from ctx.barrier()  # drain in-flight releases before exit
+
+    cluster.run(kernel)
+    assert got == {0: None, 1: 6, 2: None}
+
+
+@pytest.mark.parametrize("engine,interface", PLATFORMS)
+def test_broadcast_delivers_root_value(engine, interface):
+    cluster = make_cluster(3, engine, interface)
+    got = {}
+
+    def kernel(ctx):
+        value = 42.0 if ctx.rank == 2 else None
+        result = yield from ctx.broadcast(value, root=2)
+        got[ctx.rank] = result
+
+    cluster.run(kernel)
+    assert got == {0: 42.0, 1: 42.0, 2: 42.0}
+
+
+@pytest.mark.parametrize("engine,interface", PLATFORMS)
+def test_multicast_hits_only_destinations(engine, interface):
+    cluster = make_cluster(4, engine, interface)
+    got = {}
+
+    def kernel(ctx):
+        value = [7.0] if ctx.rank == 0 else None
+        result = yield from ctx.multicast(value, dests=(1, 3), src=0)
+        got[ctx.rank] = result
+        yield from ctx.barrier()
+
+    cluster.run(kernel)
+    assert got == {0: [7.0], 1: [7.0], 2: None, 3: [7.0]}
+
+
+@pytest.mark.parametrize("engine,interface", PLATFORMS)
+def test_mixed_collectives_and_dsm_barriers_interleave(engine, interface):
+    cluster = make_cluster(2, engine, interface)
+    got = {}
+
+    def kernel(ctx):
+        yield from ctx.barrier()
+        s = yield from ctx.allreduce(ctx.rank + 1.0)
+        b = yield from ctx.broadcast(s * 10 if ctx.rank == 0 else None,
+                                     root=0)
+        yield from ctx.barrier(1)
+        m = yield from ctx.reduce(b, op="max", root=0)
+        got[ctx.rank] = (s, b, m)
+        yield from ctx.barrier()
+
+    cluster.run(kernel)
+    assert got == {0: (3.0, 30.0, 30.0), 1: (3.0, 30.0, None)}
+
+
+# ------------------------------------------------- engine resolution --
+
+def test_engine_resolution_follows_platform():
+    p = SimParams()
+    assert resolve_engine_kind(p, "cni") == "nic"
+    assert resolve_engine_kind(standard_interface_params(p),
+                               "standard") == "host"
+    assert resolve_engine_kind(p.replace(use_aih=False), "cni") == "host"
+    assert resolve_engine_kind(p.replace(collectives="host"), "cni") == "host"
+
+
+def test_forced_nic_engine_requires_cni_with_aih():
+    with pytest.raises(CollectiveError):
+        make_cluster(2, engine="nic", interface="standard")
+    with pytest.raises(CollectiveError):
+        make_cluster(2, engine="nic", interface="cni", use_aih=False)
+
+
+def test_invalid_collectives_param_rejected():
+    with pytest.raises(ValueError):
+        SimParams().replace(collectives="board")
+
+
+def test_cluster_engines_match_selection():
+    assert isinstance(make_cluster(2).nodes[0].coll, NicCollectiveEngine)
+    assert isinstance(make_cluster(2, interface="standard").nodes[0].coll,
+                      HostCollectiveEngine)
+    assert isinstance(make_cluster(2, engine="host").nodes[0].coll,
+                      HostCollectiveEngine)
+
+
+# ------------------------------------------------------- typed errors --
+
+def test_duplicate_arrival_raises_collective_error():
+    coll = make_cluster(2).nodes[0].coll
+    msg = CollArrive(0, "barrier", 0, 1, "sum", None, 0)
+    coll._arrive_logic(msg)
+    with pytest.raises(CollectiveError):
+        coll._arrive_logic(CollArrive(0, "barrier", 0, 1, "sum", None, 0))
+
+
+def test_unknown_participant_raises_collective_error():
+    coll = make_cluster(2).nodes[0].coll
+    with pytest.raises(CollectiveError):
+        coll._arrive_logic(CollArrive(0, "barrier", 0, 5, "sum", None, 0))
+
+
+def test_mixed_op_episode_raises_collective_error():
+    coll = make_cluster(3).nodes[0].coll
+    coll._arrive_logic(CollArrive(0, "allreduce", 0, 1, "sum", 1.0, 8))
+    with pytest.raises(CollectiveError):
+        coll._arrive_logic(CollArrive(0, "allreduce", 0, 2, "max", 1.0, 8))
+
+
+def test_unknown_reducer_rejected():
+    cluster = make_cluster(2)
+
+    def kernel(ctx):
+        with pytest.raises(CollectiveError):
+            yield from ctx.allreduce(1.0, op="median")
+        yield from ctx.barrier()
+
+    cluster.run(kernel)
+
+
+# --------------------------------------------- zero host interrupts --
+
+def barrier_kernel(rounds=4):
+    def kernel(ctx):
+        for r in range(rounds):
+            yield from ctx.compute(500 * (1 + ctx.rank))
+            yield from ctx.allreduce(float(ctx.rank))
+            yield from ctx.barrier()
+    return kernel
+
+
+def test_nic_engine_runs_collectives_without_host_steps():
+    cluster = make_cluster(4)
+    stats = cluster.run(barrier_kernel())
+    agg = aggregate_nodes(stats.metrics)
+    assert agg["coll.host_steps"] == 0
+    assert agg["coll.host_interrupts"] == 0
+    assert agg["coll.nic_steps"] > 0
+    assert agg["nic.aih.dispatches"] > 0
+    assert agg["coll.ops_completed"] == 4 * 8  # 4 nodes x (4+4) ops
+
+
+def test_host_engine_takes_host_steps_on_standard_interface():
+    cluster = make_cluster(4, interface="standard")
+    stats = cluster.run(barrier_kernel())
+    agg = aggregate_nodes(stats.metrics)
+    assert agg["coll.nic_steps"] == 0
+    assert agg["coll.host_steps"] > 0
+    assert agg["coll.host_interrupts"] > 0
+    # the standard NIC interrupted the host for every protocol packet
+    assert agg["nic.rx.host_interrupts"] >= agg["coll.host_interrupts"]
+
+
+def test_host_engine_on_cni_bounces_to_host():
+    cluster = make_cluster(4, engine="host", interface="cni")
+    stats = cluster.run(barrier_kernel())
+    agg = aggregate_nodes(stats.metrics)
+    assert agg["coll.nic_steps"] == 0
+    assert agg["coll.host_steps"] > 0
+    # AIH trampolines still dispatched on the board
+    assert agg["nic.aih.dispatches"] > 0

@@ -80,3 +80,82 @@ def test_handler_keys_sorted():
 def test_negative_memory_rejected():
     with pytest.raises(ValueError):
         HandlerRegistry(SimParams(), memory_bytes=-1)
+
+
+# -- capacity / eviction cycles -----------------------------------------------
+
+def test_uninstall_reinstall_cycles_under_capacity():
+    """Connection churn: swap handlers in and out of a full registry."""
+    reg = make_registry(memory=100)
+    for key in range(1, 6):
+        reg.install(key, lambda p: None, code_size=100)
+        assert reg.used_bytes == 100
+        with pytest.raises(HandlerError):
+            reg.install(99, lambda p: None, code_size=1)
+        reg.uninstall(key)
+        assert reg.used_bytes == 0
+    assert reg.swap_ins == 5
+    assert reg.handler_keys() == []
+
+
+def test_dispatch_after_uninstall_rejected():
+    reg = make_registry()
+    reg.install(1, lambda p: None, code_size=10)
+    reg.uninstall(1)
+    assert not reg.installed(1)
+    with pytest.raises(HandlerError):
+        reg.dispatch(1)
+
+
+def test_swap_in_cost_accumulates_per_install():
+    """Every install pays its own DMA-sized swap-in, including after
+    eviction (the cost is not amortized across reinstalls)."""
+    params = SimParams()
+    reg = make_registry(memory=8192)
+    first = reg.install(1, lambda p: None, code_size=2048)
+    reg.uninstall(1)
+    second = reg.install(1, lambda p: None, code_size=4096)
+    assert first == pytest.approx(params.dma_time_ns(2048))
+    assert second == pytest.approx(params.dma_time_ns(4096))
+    assert reg.swap_ins == 2
+
+
+# -- metrics accounting --------------------------------------------------------
+
+def test_registry_metrics_track_swap_ins_and_occupancy():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    reg = HandlerRegistry(SimParams(), memory_bytes=1024,
+                          metrics=registry.scope("aih"))
+    reg.install(1, lambda p: None, code_size=100)
+    reg.install(2, lambda p: None, code_size=200)
+    reg.dispatch(1)
+    snap = registry.snapshot()
+    assert snap["aih.swap_ins"] == 2
+    assert snap["aih.dispatches"] == 1
+    assert snap["aih.handler_bytes_used"] == 300
+    reg.uninstall(1)
+    assert registry.snapshot()["aih.handler_bytes_used"] == 200
+
+
+# -- collective handler installation (PATHFINDER mapping) ---------------------
+
+def test_install_collective_handler_classifies_collective_packets():
+    from repro.collectives import COLL_HANDLER_CODE_BYTES, CollMsgType
+    from repro.core.cni_nic import AIH_TARGET
+    from repro.network import PacketKind
+    from repro.runtime import Cluster
+
+    cluster = Cluster(SimParams().replace(num_processors=2,
+                                          dsm_address_space_pages=16),
+                      interface="cni")
+    nic = cluster.nodes[0].nic
+    for cmt in CollMsgType:
+        assert nic.handlers.installed(int(cmt))
+        header = bytes([int(PacketKind.COLLECTIVE), 0, 0, 0, 0, 0, 0, 0,
+                        (int(cmt) >> 8) & 0xFF, int(cmt) & 0xFF,
+                        0, 0, 0, 0, 0, 0])
+        assert nic.pathfinder.classify(header) == (AIH_TARGET, int(cmt))
+    # the collective handlers share AIH memory with the DSM protocol
+    assert nic.handlers.used_bytes >= COLL_HANDLER_CODE_BYTES - len(CollMsgType)

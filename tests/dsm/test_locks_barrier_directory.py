@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.collectives import CollectiveError
 from repro.dsm import (
     BarrierManager,
     HomePolicy,
@@ -59,8 +60,18 @@ def test_barrier_gathers_and_completes():
 def test_barrier_double_arrival_rejected():
     mgr = BarrierManager(2)
     mgr.arrive(0, 0, [])
-    with pytest.raises(ValueError):
+    with pytest.raises(CollectiveError):
         mgr.arrive(0, 0, [])
+
+
+def test_barrier_unknown_participant_rejected():
+    mgr = BarrierManager(2)
+    with pytest.raises(CollectiveError):
+        mgr.arrive(0, 2, [])
+    with pytest.raises(CollectiveError):
+        mgr.arrive(0, -1, [])
+    # CollectiveError subclasses ValueError: legacy handlers still catch.
+    assert issubclass(CollectiveError, ValueError)
 
 
 def test_barrier_premature_complete_rejected():
@@ -88,7 +99,7 @@ def test_barrier_ids_independent():
 
 
 def test_barrier_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(CollectiveError):
         BarrierManager(0)
 
 

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.apps",
     "repro.harness",
     "repro.faults",
+    "repro.collectives",
 ]
 
 
@@ -54,4 +55,4 @@ def test_apps_expose_run_helpers():
 def test_harness_exposes_every_experiment():
     from repro.harness import EXPERIMENTS
 
-    assert len(EXPERIMENTS) == 19  # 13 figures + 5 tables + faults sweep
+    assert len(EXPERIMENTS) == 20  # 13 figures + 5 tables + faults + collectives

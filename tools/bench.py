@@ -9,7 +9,10 @@ Measures three things on a fixed, pinned workload set:
   quick-scale experiments end to end;
 * **parallel speedup** — wall-clock of a fixed 8-point sweep at
   ``--jobs N`` vs ``--jobs 1`` (same grid, same digests; the parallel
-  executor's whole point).
+  executor's whole point);
+* **collective throughput** — simulated barrier crossings/sec on the
+  NIC-resident and host-based collective engines (one pinned barrier
+  workload each).
 
 Results land in ``BENCH_<date>.json`` at the repo root, establishing a
 perf trajectory across PRs.  ``--check OLD.json`` compares the current
@@ -127,6 +130,32 @@ def _time_parallel_speedup(jobs: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
+def _time_collectives(smoke: bool) -> Dict[str, Any]:
+    """Pinned barrier workload on both collective engines: simulator
+    wall-clock and barrier crossings/sec for each."""
+    from repro.collectives import CollBenchConfig, run_collective_bench
+    from repro.params import SimParams
+
+    rounds = 16 if smoke else 64
+    cfg = CollBenchConfig(op="barrier", rounds=rounds)
+    params = SimParams().replace(num_processors=4)
+    out: Dict[str, Any] = {"workload": f"barrier rounds={rounds} p4"}
+    for engine, interface in (("nic", "cni"), ("host", "standard")):
+        p = params.replace(collectives=engine)
+        run_collective_bench(p, interface, cfg)  # warm-up
+        t0 = time.perf_counter()
+        stats, _ = run_collective_bench(p, interface, cfg)
+        dt = time.perf_counter() - t0
+        crossings = float(stats.counters.get("dsm_barriers")) / 4
+        out[engine] = {
+            "interface": interface,
+            "crossings": crossings,
+            "wall_s": dt,
+            "crossings_per_sec": crossings / dt if dt > 0 else 0.0,
+        }
+    return out
+
+
 def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     """Run every arm; return the BENCH document (sans date stamp)."""
     jobs = jobs or (os.cpu_count() or 1)
@@ -143,6 +172,12 @@ def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     print("[bench] experiment wall-clock (quick scale) ...")
     doc["experiments"] = _time_experiments(smoke)
     print(f"[bench]   {doc['experiments']['total_s']:.2f} s total")
+    print("[bench] collective barrier crossings/sec ...")
+    doc["collectives"] = _time_collectives(smoke)
+    for engine in ("nic", "host"):
+        c = doc["collectives"][engine]
+        print(f"[bench]   {engine}: {c['crossings_per_sec']:,.0f} "
+              f"crossings/s ({c['interface']})")
     print(f"[bench] parallel speedup at --jobs {jobs} vs 1 ...")
     doc["parallel"] = _time_parallel_speedup(jobs, smoke)
     p = doc["parallel"]

@@ -4,12 +4,15 @@
 
 Top-level convenience surface::
 
-    from repro import SimParams, Cluster
-    from repro.apps import JacobiConfig, run_jacobi
+    from repro import JacobiConfig, SimParams, run
 
-    stats, grid = run_jacobi(SimParams().replace(num_processors=8),
-                             "cni", JacobiConfig(n=128, iterations=10))
+    stats, grid = run("jacobi", SimParams().replace(num_processors=8),
+                      "cni", JacobiConfig(n=128, iterations=10))
     print(stats.network_cache_hit_ratio, stats.elapsed_ns)
+
+``run`` dispatches through the workload registry
+(:data:`repro.apps.WORKLOADS`); the stable names and the deprecation
+policy are documented in docs/api.md.
 
 Subpackages: :mod:`repro.engine` (discrete-event kernel),
 :mod:`repro.memory` (caches/bus/MMU), :mod:`repro.network` (ATM fabric),
@@ -20,6 +23,8 @@ fault injection), :mod:`repro.harness` (the paper's tables and
 figures).
 """
 
+from .apps import CholeskyConfig, JacobiConfig, WaterConfig, run
+from .collectives import CollectiveError
 from .core import DeliveryFailed
 from .engine import Category, Counters, RunStats, TimeAccount
 from .faults import FaultPlan
@@ -30,17 +35,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Category",
+    "CholeskyConfig",
     "Cluster",
+    "CollectiveError",
     "Context",
     "Counters",
     "DeliveryFailed",
     "FaultPlan",
+    "JacobiConfig",
     "MessagingService",
     "PAPER_PARAMS",
     "RunStats",
     "SimParams",
     "TimeAccount",
+    "WaterConfig",
     "cni_params",
+    "run",
     "standard_interface_params",
     "__version__",
 ]

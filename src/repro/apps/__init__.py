@@ -3,6 +3,19 @@
 Jacobi (coarse), Water (medium, SPLASH) and Cholesky (fine, SPLASH) —
 Section 3.1's granularity spectrum — plus the synthetic BCSSTK matrix
 generators and the shared-array access layer they are written against.
+
+Each application registers itself in the workload registry
+(:data:`WORKLOADS`), so the whole suite is also runnable by name::
+
+    from repro import SimParams
+    from repro.apps import run
+
+    stats, grid = run("jacobi", SimParams().replace(num_processors=8),
+                      "cni", JacobiConfig(n=128, iterations=10))
+
+which is exactly how the parallel executor and the CLIs dispatch (see
+docs/api.md).  The collective microbenchmark registers here too under
+``collbench``.
 """
 
 from .base import SharedArray, SharedScalarTable
@@ -26,6 +39,7 @@ from .matrices import (
     bcsstk15_like,
     synthetic_fem_spd,
 )
+from .registry import WORKLOADS, Workload, register_workload, run, workload
 from .water import (
     WaterConfig,
     build_water,
@@ -34,6 +48,19 @@ from .water import (
 )
 from .water import sequential_reference as water_reference
 
+# The collective microbenchmark lives in repro.collectives (it exercises
+# the collective engine, not the DSM), but it is dispatched by the same
+# executor, so it registers alongside the applications.  Imported here —
+# not from collectives.bench — because repro.runtime imports
+# repro.collectives during this package's own ``.base`` import; by this
+# line both are fully initialized and the import is cycle-free.
+from ..collectives.bench import CollBenchConfig, run_collective_bench
+
+register_workload(
+    "collbench", CollBenchConfig, default_config=CollBenchConfig,
+    description="collective-engine microbenchmark (barrier/all-reduce)",
+)(run_collective_bench)
+
 __all__ = [
     "BandedSPD",
     "CholeskyConfig",
@@ -41,7 +68,9 @@ __all__ = [
     "JacobiConfig",
     "SharedArray",
     "SharedScalarTable",
+    "WORKLOADS",
     "WaterConfig",
+    "Workload",
     "band_cholesky_reference",
     "bcsstk14_like",
     "bcsstk15_like",
@@ -50,10 +79,13 @@ __all__ = [
     "cholesky_kernel",
     "jacobi_kernel",
     "jacobi_reference",
+    "register_workload",
+    "run",
     "run_cholesky",
     "run_jacobi",
     "run_water",
     "synthetic_fem_spd",
     "water_kernel",
     "water_reference",
+    "workload",
 ]

@@ -37,6 +37,7 @@ from ..params import SimParams
 from ..runtime import Cluster, Context
 from .base import SharedArray, SharedScalarTable
 from .matrices import BandedSPD, band_cholesky_reference, bcsstk14_like
+from .registry import register_workload
 
 #: Lock-id namespaces.
 BAG_LOCK = 1
@@ -267,6 +268,8 @@ def dsm_pages_needed(cfg: CholeskyConfig, params: SimParams) -> int:
     return -(-band_bytes // params.page_size_bytes) + 8
 
 
+@register_workload("cholesky", CholeskyConfig, default_config=CholeskyConfig,
+                   description="fine-grained SPLASH sparse factorization")
 def run_cholesky(params: SimParams, interface: str,
                  cfg: CholeskyConfig) -> Tuple[RunStats, np.ndarray]:
     """Run one Cholesky experiment; returns (stats, factor bands)."""

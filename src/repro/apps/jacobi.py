@@ -23,6 +23,7 @@ from ..engine import RunStats
 from ..params import SimParams
 from ..runtime import Cluster, Context
 from .base import SharedArray
+from .registry import register_workload
 
 #: CPU cycles charged per grid-point relaxation: four loads, three adds,
 #: one multiply, one store plus index arithmetic and loop overhead on a
@@ -122,6 +123,8 @@ def dsm_pages_needed(cfg: JacobiConfig, params: SimParams) -> int:
     return 2 * (grid_pages + 1) + 8
 
 
+@register_workload("jacobi", JacobiConfig, default_config=JacobiConfig,
+                   description="coarse-grained iterative grid relaxation")
 def run_jacobi(params: SimParams, interface: str,
                cfg: JacobiConfig) -> Tuple[RunStats, np.ndarray]:
     """Run one Jacobi experiment; returns (stats, final grid)."""

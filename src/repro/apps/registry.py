@@ -1,0 +1,99 @@
+"""The workload registry: one named entry point per benchmark kernel.
+
+Every runnable workload — the paper's three applications plus the
+collective microbenchmark — registers itself here under a short name,
+and everything that dispatches *by* name (the parallel executor's
+:class:`~repro.harness.parallel.RunSpec`, the metrics CLI, tools that
+take an ``--app`` flag) resolves through :func:`run` instead of keeping
+its own if/elif chain.  Adding a workload is then one decorator at its
+definition site; the executor, the CLI and the docs pick it up without
+edits.
+
+The module deliberately imports nothing from the rest of the package so
+that workload modules can import it at definition time without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["WORKLOADS", "Workload", "register_workload", "run", "workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark kernel."""
+
+    name: str
+    """Registry key (``jacobi``, ``water``, ``cholesky``, ``collbench``)."""
+
+    runner: Callable[..., Tuple[Any, Any]]
+    """``runner(params, interface, config) -> (RunStats, app_result)``."""
+
+    config_type: type
+    """The picklable config dataclass the runner expects."""
+
+    default_config: Optional[Callable[[], Any]] = None
+    """Zero-argument factory used when :func:`run` gets ``config=None``;
+    None means the workload has no sensible default (Cholesky needs a
+    matrix) and a config is required."""
+
+    description: str = ""
+    """One line for ``--help`` text and docs tables."""
+
+
+#: All registered workloads, keyed by name.  Populated by the
+#: :func:`register_workload` decorators on the app modules' ``run_*``
+#: functions when :mod:`repro.apps` is imported.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register_workload(name: str, config_type: type,
+                      default_config: Optional[Callable[[], Any]] = None,
+                      description: str = ""):
+    """Decorator: register the decorated runner under ``name``.
+
+    The runner is returned unchanged, so ``run_jacobi`` et al. keep
+    their direct-call signature — registration only *adds* the by-name
+    path, it never wraps or indirects the by-function one.
+    """
+    def deco(runner):
+        if name in WORKLOADS:
+            raise ValueError(f"workload {name!r} already registered")
+        WORKLOADS[name] = Workload(name, runner, config_type,
+                                   default_config, description)
+        return runner
+    return deco
+
+
+def workload(name: str) -> Workload:
+    """Look up a registered workload; raises ValueError for unknown names."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        avail = ", ".join(sorted(WORKLOADS))
+        raise ValueError(f"unknown app {name!r} (available: {avail})") from None
+
+
+def run(name: str, params, interface: str = "cni",
+        config: Any = None) -> Tuple[Any, Any]:
+    """Run workload ``name`` and return ``(RunStats, app_result)``.
+
+    ``config`` must be an instance of the workload's registered config
+    type; ``None`` uses the workload's default configuration when it has
+    one.  This is the single by-name entry point behind the parallel
+    executor and the CLIs.
+    """
+    w = workload(name)
+    if config is None:
+        if w.default_config is None:
+            raise TypeError(
+                f"workload {name!r} has no default config; pass a "
+                f"{w.config_type.__name__}")
+        config = w.default_config()
+    elif not isinstance(config, w.config_type):
+        raise TypeError(
+            f"workload {name!r} expects {w.config_type.__name__}, "
+            f"got {type(config).__name__}")
+    return w.runner(params, interface, config)

@@ -27,6 +27,7 @@ from ..engine import RunStats
 from ..params import SimParams
 from ..runtime import Cluster, Context
 from .base import SharedArray
+from .registry import register_workload
 
 #: Doubles per molecule record.  SPLASH water keeps predictor-corrector
 #: derivatives for three atoms (order-7, 3 coords) plus forces; ~100
@@ -191,6 +192,8 @@ def dsm_pages_needed(cfg: WaterConfig, params: SimParams) -> int:
             + -(-staging_bytes // params.page_size_bytes) + 10)
 
 
+@register_workload("water", WaterConfig, default_config=WaterConfig,
+                   description="medium-grained SPLASH molecular dynamics")
 def run_water(params: SimParams, interface: str,
               cfg: WaterConfig) -> Tuple[RunStats, np.ndarray]:
     """Run one Water experiment; returns (stats, final records)."""

@@ -106,6 +106,13 @@ class Pathfinder:
         self._root: List[_Cell] = []  # alternative first cells
         self._patterns: Dict[int, Pattern] = {}
         self._fragment_table: Dict[Tuple[int, int], Any] = {}
+        #: Memoized DAG walks: header bytes -> winning (pattern_id,
+        #: target) or None on a miss.  Valid only for the current
+        #: pattern set — install/remove clear it.  Bounded so a stream
+        #: of unique headers (e.g. randomized tests) cannot grow it
+        #: without limit.
+        self._classify_cache: Dict[bytes, Optional[Tuple[int, Any]]] = {}
+        self._classify_cache_max = 4096
         self.classifications = 0
         self.matches = 0
         self.fragment_hits = 0
@@ -127,6 +134,7 @@ class Pathfinder:
         """
         if len(self._patterns) >= self.max_patterns:
             raise RuntimeError("PATHFINDER pattern memory exhausted")
+        self._classify_cache.clear()
         cells = self._root
         last_index = len(pattern.elements) - 1
         for i, elem in enumerate(pattern.elements):
@@ -160,6 +168,7 @@ class Pathfinder:
         """
         if pattern_id not in self._patterns:
             raise KeyError(f"pattern {pattern_id} not installed")
+        self._classify_cache.clear()
         survivors = [p for pid, p in self._patterns.items() if pid != pattern_id]
         self._root = []
         self._patterns = {}
@@ -177,8 +186,22 @@ class Pathfinder:
 
         Returns the target of the first installed pattern that matches,
         or None (packet dropped / kicked to the slow path).
+
+        Repeated headers against an unchanged pattern set — the steady
+        state of any connection — skip the DAG walk via the memo table.
+        The per-classification counters advance exactly as if the walk
+        had run, so metrics (and run digests) cannot tell the two
+        apart.
         """
         self.classifications += 1
+        cache = self._classify_cache
+        if header in cache:
+            best = cache[header]
+            if best is None:
+                self.misses += 1
+                return None
+            self.matches += 1
+            return best[1]
         best: Optional[Tuple[int, Any]] = None
         # Walk the DAG; collect accepts; earliest-installed pattern wins.
         frontier = list(self._root)
@@ -195,6 +218,9 @@ class Pathfinder:
                     best = hit
                 next_frontier.extend(cell.edges.get(word, ()))
             frontier = next_frontier
+        if len(cache) >= self._classify_cache_max:
+            cache.clear()
+        cache[bytes(header)] = best
         if best is None:
             self.misses += 1
             return None

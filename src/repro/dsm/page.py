@@ -12,8 +12,8 @@ execution-driven trick.  What each node keeps privately is the page
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -33,56 +33,141 @@ class PageState(enum.Enum):
     """Twinned copy being written in the current interval."""
 
 
-@dataclass
 class PageMeta:
-    """One node's view of one shared page."""
+    """One node's view of one shared page.
 
-    state: PageState = PageState.INVALID
-    source: int = 0
-    """Best-known holder of a current copy (the latest writer we have a
-    notice from, or the page's home before anyone wrote it)."""
+    A plain ``__slots__`` class rather than a dataclass: one instance
+    exists per (node, page) over the whole shared address space, so
+    construction cost and per-instance memory are on the cluster-build
+    hot path.
 
-    ever_valid: bool = False
-    """Whether this node has ever held a copy (first access fetches a
-    full page; later refreshes can fetch diffs)."""
+    Attributes:
 
-    pending_diffs: Dict[Tuple[int, int], int] = field(default_factory=dict)
-    """Unapplied foreign writes: ``(proc, seq) -> modified_bytes``.  A
-    page with pending diffs and a surviving local copy fetches just the
-    diffs; a page gone INVALID refetches in full."""
+    * ``state`` — the :class:`PageState` of this node's copy.
+    * ``source`` — best-known holder of a current copy (the latest
+      writer we have a notice from, or the page's home before anyone
+      wrote it).
+    * ``ever_valid`` — whether this node has ever held a copy (first
+      access fetches a full page; later refreshes can fetch diffs).
+    * ``pending_diffs`` — unapplied foreign writes:
+      ``(proc, seq) -> modified_bytes``.  A page with pending diffs and
+      a surviving local copy fetches just the diffs; a page gone
+      INVALID refetches in full.
+    * ``twin_live`` — whether a twin exists for the current interval
+      (first-write bookkeeping).
+    """
 
-    twin_live: bool = False
-    """Whether a twin exists for the current interval (first-write
-    bookkeeping)."""
+    __slots__ = ("state", "source", "ever_valid", "pending_diffs",
+                 "twin_live")
+
+    def __init__(self, state: PageState = PageState.INVALID,
+                 source: int = 0, ever_valid: bool = False,
+                 pending_diffs: Optional[Dict[Tuple[int, int], int]] = None,
+                 twin_live: bool = False):
+        self.state = state
+        self.source = source
+        self.ever_valid = ever_valid
+        self.pending_diffs: Dict[Tuple[int, int], int] = (
+            {} if pending_diffs is None else pending_diffs)
+        self.twin_live = twin_live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PageMeta(state={self.state}, source={self.source}, "
+                f"ever_valid={self.ever_valid}, "
+                f"pending_diffs={self.pending_diffs}, "
+                f"twin_live={self.twin_live})")
 
 
 class NodePageTable:
-    """All shared-page metadata for one node."""
+    """All shared-page metadata for one node.
+
+    ``home_of`` may be a callable (``page -> home node``) or a
+    pre-computed sequence of homes indexed by page — the cluster path
+    passes :meth:`repro.dsm.HomePolicy.page_homes`'s bulk table so the
+    65k-page default address space is not walked through a Python call
+    per page at every node construction.
+    """
 
     def __init__(self, npages: int, home_of, self_id: int):
-        self._meta: List[PageMeta] = [
-            PageMeta(source=home_of(p)) for p in range(npages)
-        ]
+        if callable(home_of):
+            self._homes = [home_of(p) for p in range(npages)]
+        else:
+            self._homes = home_of
+        #: Lazily materialized metadata: pages the node never touches
+        #: (the vast majority of the statically reserved address space)
+        #: never get a PageMeta at all.  An absent entry means "the
+        #: default state": INVALID, sourced from the page's home — or
+        #: VALID_RO when the page is homed here and :meth:`seed_homes`
+        #: has run.
+        self._meta: Dict[int, PageMeta] = {}
+        self._homes_seeded = False
         self.self_id = self_id
         self.npages = npages
+        #: Pages made WRITABLE since the last interval close; lets
+        #: :meth:`end_interval_downgrade` touch only written pages
+        #: instead of scanning the whole (mostly idle) address space.
+        self._written: Set[int] = set()
 
     def __getitem__(self, page: int) -> PageMeta:
-        return self._meta[page]
+        m = self._meta.get(page)
+        if m is None:
+            home = self._homes[page]
+            m = PageMeta(source=home)
+            if self._homes_seeded and home == self.self_id:
+                m.state = PageState.VALID_RO
+                m.ever_valid = True
+            self._meta[page] = m
+        return m
+
+    def seed_homes(self, homes: Sequence[int]) -> None:
+        """Install the final home table and seed initial validity.
+
+        Pages homed on this node start VALID_RO (they are "born" in
+        this node's memory); everything else faults on first touch.
+        Called by the protocol engine once allocations are final —
+        the home table may differ from construction time because the
+        block scheme divides the *allocated* pages among the nodes.
+        Already-materialized metadata is re-seeded; everything else is
+        captured by the lazy default in :meth:`__getitem__`.
+        """
+        self._homes = homes
+        self._homes_seeded = True
+        me = self.self_id
+        for page, m in self._meta.items():
+            home = homes[page]
+            m.source = home
+            if home == me:
+                m.state = PageState.VALID_RO
+                m.ever_valid = True
 
     def pages_in_state(self, state: PageState) -> List[int]:
         """All pages currently in ``state`` (diagnostics, tests)."""
-        return [i for i, m in enumerate(self._meta) if m.state == state]
+        out = [i for i, m in self._meta.items() if m.state == state]
+        if state in (PageState.INVALID, PageState.VALID_RO):
+            out.extend(i for i in range(self.npages)
+                       if i not in self._meta
+                       and self._virtual_state(i) == state)
+        return sorted(out)
+
+    def _virtual_state(self, page: int) -> PageState:
+        """State a not-yet-materialized page would have."""
+        if self._homes_seeded and self._homes[page] == self.self_id:
+            return PageState.VALID_RO
+        return PageState.INVALID
 
     def end_interval_downgrade(self) -> List[int]:
         """Close the interval: WRITABLE pages drop their twin and become
         VALID_RO (their writes are now published via notices).  Returns
-        the downgraded pages."""
+        the downgraded pages (in page order)."""
         out = []
-        for i, m in enumerate(self._meta):
+        meta = self._meta
+        for i in sorted(self._written):
+            m = meta[i]
             if m.state == PageState.WRITABLE:
                 m.state = PageState.VALID_RO
                 m.twin_live = False
                 out.append(i)
+        self._written.clear()
         return out
 
     def apply_notice(self, page: int, proc: int, seq: int,
@@ -99,7 +184,7 @@ class NodePageTable:
         Returns True when a previously-usable copy just went stale (the
         caller drops the board's cached buffer then).
         """
-        m = self._meta[page]
+        m = self[page]
         if proc == self.self_id:
             return False  # own writes never invalidate the local copy
         m.source = proc  # latest writer becomes the fetch target
@@ -109,25 +194,26 @@ class NodePageTable:
 
     def install_full_copy(self, page: int) -> None:
         """A full page arrived: all pending foreign writes are subsumed."""
-        m = self._meta[page]
+        m = self[page]
         m.state = PageState.VALID_RO
         m.ever_valid = True
         m.pending_diffs.clear()
 
     def apply_diffs(self, page: int, intervals: List[Tuple[int, int]]) -> None:
         """Diff replies for ``intervals`` arrived and were applied."""
-        m = self._meta[page]
+        m = self[page]
         for key in intervals:
             m.pending_diffs.pop(key, None)
 
     def make_writable(self, page: int) -> None:
         """First write of the interval: twin created, write access on."""
-        m = self._meta[page]
+        m = self[page]
         if m.state == PageState.INVALID:
             raise ValueError(f"page {page}: cannot write an invalid copy")
         m.state = PageState.WRITABLE
         m.twin_live = True
         m.ever_valid = True
+        self._written.add(page)
 
 
 class SharedSegment:

@@ -90,7 +90,8 @@ class DsmEngine:
         self.vc = VectorClock(nprocs)
         self.ilog = IntervalLog(nprocs)
         self.collector = WriteCollector(self.params.page_size_bytes)
-        self.pages = NodePageTable(segment.npages, homes.page_home, self.me)
+        self.pages = NodePageTable(segment.npages,
+                                   homes.page_homes(segment.npages), self.me)
         self.local_locks = LocalLockTable()
         self.managed_locks = LockManagerTable()
         self.barrier_mgr = (
@@ -118,13 +119,7 @@ class DsmEngine:
         home scheme divides the allocated pages — homing everything by
         the raw segment size would pile every used page onto node 0.
         """
-        for p in range(self.segment.npages):
-            home = self.homes.page_home(p)
-            meta = self.pages[p]
-            meta.source = home
-            if home == self.me:
-                meta.state = PageState.VALID_RO
-                meta.ever_valid = True
+        self.pages.seed_homes(self.homes.page_homes(self.segment.npages))
 
     # ------------------------------------------------------------------ utils --
     def _charge_ns(self, on_board: bool, factor: float = 1.0) -> float:

@@ -4,13 +4,22 @@ The queue orders callbacks by ``(time, priority, sequence)``.  The
 sequence number makes ordering total and deterministic: two events
 scheduled for the same instant fire in scheduling order, which keeps
 simulation runs reproducible (a property the test-suite relies on).
+
+This sits at the bottom of every simulated nanosecond, so the
+implementation is tuned for the dispatch loop: ``__slots__`` on the
+queue and handles, a plain integer sequence counter, and heap entries
+that are built exactly once per event.  The simulator's main loop
+reaches into ``_heap`` directly (same package, documented contract:
+``_heap`` is never rebound, entries are ``(time, priority, seq,
+handle)``) so the per-event cost is one ``heappop`` instead of the
+``peek_time``/``pop`` pair with its double skim and exception
+machinery.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 
 class Cancelled(Exception):
@@ -48,9 +57,11 @@ class EventHandle:
 class EventQueue:
     """A binary-heap pending event set with stable, deterministic order."""
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, EventHandle]] = []
-        self._counter = itertools.count()
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -69,7 +80,9 @@ class EventQueue:
         if time != time:  # NaN guard
             raise ValueError("event time is NaN")
         handle = EventHandle(time, callback)
-        heapq.heappush(self._heap, (time, priority, next(self._counter), handle))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, handle))
         return handle
 
     def peek_time(self) -> float:
@@ -96,8 +109,9 @@ class EventQueue:
         return time, callback
 
     def _skim(self, operation: str) -> None:
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             raise EmptyQueueError(
                 f"EventQueue.{operation}() on an empty event queue")

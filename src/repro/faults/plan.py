@@ -25,6 +25,7 @@ evaluator, so old tests keep passing while new code writes plans.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -184,9 +185,24 @@ class ActiveFaultPlan:
 
     # -- legacy shims ---------------------------------------------------------
     def set_legacy_train_injector(self, fn: Optional[Callable]) -> None:
+        """Deprecated: attach a whole-train injector callable.
+
+        Express the loss as a :class:`FaultPlan` schedule instead; the
+        shim exists only so pre-plan experiment scripts keep running."""
+        warnings.warn(
+            "ActiveFaultPlan.set_legacy_train_injector is deprecated; "
+            "express the loss as a FaultPlan schedule",
+            DeprecationWarning, stacklevel=2)
         self._legacy_train = fn
 
     def set_legacy_cell_injector(self, fn: Optional[Callable]) -> None:
+        """Deprecated: attach a per-cell injector callable.
+
+        Express the loss as a :class:`FaultPlan` schedule instead."""
+        warnings.warn(
+            "ActiveFaultPlan.set_legacy_cell_injector is deprecated; "
+            "express the loss as a FaultPlan schedule",
+            DeprecationWarning, stacklevel=2)
         self._legacy_cell = fn
 
     # -- helpers --------------------------------------------------------------

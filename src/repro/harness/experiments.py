@@ -13,7 +13,10 @@ Every grid-shaped experiment builds its runs as
 :class:`~repro.harness.parallel.RunSpec` lists and executes them through
 :func:`~repro.harness.parallel.run_map`, so they fan out across worker
 processes under ``--jobs N`` while producing bit-identical results (see
-docs/parallel_runs.md).  The two microbenchmarks
+docs/parallel_runs.md).  A spec's ``app`` string is resolved by the
+workload registry (:func:`repro.apps.run`), so experiment code never
+names a ``run_*`` function directly — any registered workload is
+sweepable.  The two microbenchmarks
 (:func:`latency_microbenchmark`, :func:`bandwidth_microbenchmark`) stay
 in-process: their kernels are ad-hoc closures over a marks dict, which
 is exactly the non-picklable shape the executor refuses.

@@ -47,19 +47,18 @@ def _take(argv: List[str], name: str) -> Optional[str]:
 
 def run_metrics_workload(app: str, interface: str, nprocs: int, scale):
     """Run the representative workload; returns its RunStats."""
-    from ..apps import run_cholesky, run_jacobi, run_water
+    from ..apps import run
     from .runner import _chol14
 
-    if app == "jacobi":
-        return run_jacobi(SimParams().replace(num_processors=nprocs),
-                          interface, scale.jacobi_small)[0]
-    if app == "water":
-        return run_water(SimParams().replace(num_processors=nprocs),
-                         interface, scale.water_small)[0]
-    if app == "cholesky":
-        return run_cholesky(SimParams().replace(num_processors=nprocs),
-                            interface, _chol14(scale))[0]
-    raise SystemExit(f"unknown app {app!r} (jacobi, water or cholesky)")
+    configs = {
+        "jacobi": lambda: scale.jacobi_small,
+        "water": lambda: scale.water_small,
+        "cholesky": lambda: _chol14(scale),
+    }
+    if app not in configs:
+        raise SystemExit(f"unknown app {app!r} (jacobi, water or cholesky)")
+    return run(app, SimParams().replace(num_processors=nprocs),
+               interface, configs[app]())[0]
 
 
 def metrics_main(argv: List[str], scale) -> int:

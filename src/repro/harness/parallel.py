@@ -136,23 +136,15 @@ def execute_run(spec: RunSpec, index: int = 0) -> RunStats:
     """Execute one spec in the current process and return its stats.
 
     This is both the pool-worker body and the ``--jobs 1`` in-process
-    path, so the two are one code path by construction.
+    path, so the two are one code path by construction.  Dispatch goes
+    through the workload registry (:func:`repro.apps.run`), so any
+    registered workload is executable by spec with no executor edits.
     """
-    from ..apps import run_cholesky, run_jacobi, run_water
+    from ..apps import run as run_workload
 
     _seed_global_rngs(spec, index)
-    if spec.app == "jacobi":
-        return run_jacobi(spec.params, spec.interface, spec.workload)[0]
-    if spec.app == "water":
-        return run_water(spec.params, spec.interface, spec.workload)[0]
-    if spec.app == "cholesky":
-        return run_cholesky(spec.params, spec.interface, spec.workload)[0]
-    if spec.app == "collbench":
-        from ..collectives.bench import run_collective_bench
-
-        return run_collective_bench(
-            spec.params, spec.interface, spec.workload)[0]
-    raise ValueError(f"unknown app {spec.app!r}")
+    return run_workload(spec.app, spec.params, spec.interface,
+                        spec.workload)[0]
 
 
 def _worker(job: Tuple[int, RunSpec]) -> Tuple[int, RunStats]:

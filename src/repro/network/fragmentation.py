@@ -24,10 +24,23 @@ class Segmenter:
         self.params = params
         self.packets_segmented = 0
         self.cells_produced = 0
+        #: wire_bytes -> cell count.  Packet sizes cluster tightly (page
+        #: transfers, diffs, a handful of control sizes), so the
+        #: arithmetic in ``cells_for_packet`` is paid once per distinct
+        #: size instead of once per packet.  Safe because SimParams is
+        #: frozen for the lifetime of a run.
+        self._cell_count_cache: Dict[int, int] = {}
+        #: n_cells -> NI-processor SAR nanoseconds (same reasoning).
+        self._sar_ns_cache: Dict[int, float] = {}
 
     def cell_count(self, packet: Packet) -> int:
         """Number of cells ``packet`` occupies on the wire."""
-        return self.params.cells_for_packet(packet.wire_bytes)
+        wire = packet.wire_bytes
+        n = self._cell_count_cache.get(wire)
+        if n is None:
+            n = self.params.cells_for_packet(wire)
+            self._cell_count_cache[wire] = n
+        return n
 
     def make_train(self, packet: Packet) -> CellTrain:
         """Batched segmentation: the form the simulated network carries."""
@@ -68,7 +81,12 @@ class Segmenter:
         With unrestricted cells the per-cell loop collapses to a single
         iteration, which is exactly how Table 5's improvement arises.
         """
-        return self.params.ni_cycles_ns(self.params.ni_cell_sar_cycles * n_cells)
+        t = self._sar_ns_cache.get(n_cells)
+        if t is None:
+            t = self.params.ni_cycles_ns(
+                self.params.ni_cell_sar_cycles * n_cells)
+            self._sar_ns_cache[n_cells] = t
+        return t
 
 
 @dataclass
@@ -103,6 +121,8 @@ class Reassembler:
         self.params = params
         self.max_partials = max_partials
         self.stats = ReassemblyStats()
+        #: n_cells -> SAR nanoseconds (see Segmenter._sar_ns_cache).
+        self._sar_ns_cache: Dict[int, float] = {}
         self._partial: Dict[Tuple[int, int], List[AtmCell]] = {}
         #: last cell-arrival time per partial (same keys as _partial)
         self._last_cell_ns: Dict[Tuple[int, int], float] = {}
@@ -183,4 +203,9 @@ class Reassembler:
 
     def sar_time_ns(self, n_cells: int) -> float:
         """NI-processor time for reassembly of ``n_cells``."""
-        return self.params.ni_cycles_ns(self.params.ni_cell_sar_cycles * n_cells)
+        t = self._sar_ns_cache.get(n_cells)
+        if t is None:
+            t = self.params.ni_cycles_ns(
+                self.params.ni_cell_sar_cycles * n_cells)
+            self._sar_ns_cache[n_cells] = t
+        return t

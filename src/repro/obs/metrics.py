@@ -72,12 +72,19 @@ class Counter:
         return self._fn() if self._fn is not None else self._value
 
     def inc(self, by: float = 1) -> None:
-        """Add ``by`` (>= 0) to a stored counter."""
+        """Add ``by`` (>= 0) to a stored counter.
+
+        The common case — a stored counter bumped by a non-negative
+        amount from instrumentation on the simulator's hot path — takes
+        the first branch and returns; the error checks only run on the
+        way to raising.
+        """
+        if self._fn is None and by >= 0:
+            self._value += by
+            return
         if self._fn is not None:
             raise MetricError(f"counter {self.name!r} is function-sourced")
-        if by < 0:
-            raise MetricError(f"counter {self.name!r} decremented by {by}")
-        self._value += by
+        raise MetricError(f"counter {self.name!r} decremented by {by}")
 
     def merge_from(self, other: "Counter") -> None:
         """Aggregate: counters sum."""

@@ -127,6 +127,33 @@ def test_block_scheme():
     assert homes == sorted(homes)
 
 
+def test_bulk_table_agrees_with_per_page_lookup():
+    """page_homes (the cluster's bulk path) must agree with page_home
+    page-for-page across schemes, allocation extents and table sizes."""
+    for nprocs in (1, 3, 4):
+        for scheme in ("round_robin", "block", "node0"):
+            for npages in (1, 7, 64, 257):
+                h = HomePolicy(nprocs, scheme=scheme)
+                assert h.page_homes(npages) == \
+                    [h.page_home(p) for p in range(npages)]
+                h.set_page_count(npages)
+                assert h.page_homes(npages) == \
+                    [h.page_home(p) for p in range(npages)]
+                h.set_allocations([(0, 5), (10, 3), (40, 20)])
+                assert h.page_homes(npages) == \
+                    [h.page_home(p) for p in range(npages)]
+
+
+def test_bulk_table_cache_invalidates_on_allocation_change():
+    h = HomePolicy(4, scheme="block")
+    h.set_page_count(64)
+    before = list(h.page_homes(64))
+    h.set_allocations([(0, 64)])
+    after = h.page_homes(64)
+    assert after == [h.page_home(p) for p in range(64)]
+    assert before != after or h.page_homes(64) is after
+
+
 def test_policy_validation():
     with pytest.raises(ValueError):
         HomePolicy(0)

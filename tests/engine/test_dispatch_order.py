@@ -1,0 +1,165 @@
+"""Regression pins for the optimized dispatch loop.
+
+``Simulator.run`` pops the event heap directly instead of going through
+``EventQueue.peek_time``/``pop``.  These tests pin the visible contract
+of that fast path against a straight-line reference implementation:
+exact pop order under randomized (seeded) schedules, cancellation-heavy
+queues, same-instant priority ties, and the historical ``until``-clamp
+corner cases.
+"""
+
+import random
+
+from repro.engine import EventQueue, Simulator
+
+
+def reference_order(entries):
+    """Expected fire order: sort by (time, priority, seq), drop cancelled.
+
+    This is the EventQueue ordering contract stated independently of the
+    heap: a total order over (time, priority, insertion sequence).
+    """
+    live = [(t, prio, seq) for (t, prio, seq, cancelled) in entries
+            if not cancelled]
+    return [seq for (_t, _prio, seq) in sorted(live)]
+
+
+def test_randomized_schedule_pops_in_reference_order():
+    rng = random.Random(0xC41)
+    for trial in range(5):
+        q = EventQueue()
+        entries = []
+        handles = []
+        for seq in range(300):
+            t = rng.choice([0.0, 1.0, 2.5, 2.5, 7.0, rng.uniform(0, 10)])
+            prio = rng.choice([0, 0, 1])
+            h = q.push(t, (lambda s=seq: s), priority=prio)
+            handles.append(h)
+            entries.append([t, prio, seq, False])
+        for i in rng.sample(range(300), 120):  # cancellation-heavy
+            handles[i].cancel()
+            entries[i][3] = True
+        got = []
+        while True:
+            try:
+                _t, cb = q.pop()
+            except IndexError:
+                break
+            got.append(cb())
+        assert got == reference_order(entries), f"trial {trial} diverged"
+
+
+def test_simulator_loop_matches_queue_pop_order():
+    """The inline heap loop in Simulator.run dispatches exactly the
+    sequence EventQueue.pop would have produced."""
+    def build(seed, out):
+        rng = random.Random(seed)
+        sim = Simulator()
+        handles = []
+        for seq in range(200):
+            t = rng.choice([0.0, 3.0, 3.0, rng.uniform(0, 20)])
+            prio = rng.choice([0, 1])
+            handles.append(sim._queue.push(
+                t, (lambda s=seq: out.append(s)), priority=prio))
+        for i in rng.sample(range(200), 80):
+            handles[i].cancel()
+        return sim
+
+    for seed in (1, 2, 3):
+        # Reference: drain the same schedule through the public pop API.
+        reference = []
+        ref = build(seed, reference)
+        while True:
+            try:
+                _t, cb = ref._queue.pop()
+            except IndexError:
+                break
+            cb()
+        fired = []
+        sim = build(seed, fired)
+        sim.run()
+        assert fired == reference
+        assert sim.events_processed == len(reference)
+
+
+def test_same_instant_priority_orders_before_sequence():
+    sim = Simulator()
+    order = []
+    # Scheduled later but priority 0 beats the earlier-scheduled
+    # priority-1 (call_soon) entry at the same instant.
+    sim._queue.push(5.0, lambda: order.append("soon"), priority=1)
+    sim._queue.push(5.0, lambda: order.append("timer"), priority=0)
+    sim._queue.push(5.0, lambda: order.append("soon2"), priority=1)
+    sim.run()
+    assert order == ["timer", "soon", "soon2"]
+
+
+def test_cancellation_storm_inside_callbacks():
+    """Callbacks cancelling not-yet-fired events mid-run never fire them
+    and never disturb the order of the survivors."""
+    sim = Simulator()
+    order = []
+    handles = {}
+
+    def fire(name):
+        order.append(name)
+        victim = handles.get(f"victim-of-{name}")
+        if victim is not None:
+            victim.cancel()
+
+    handles["a"] = sim.schedule(1.0, lambda: fire("a"))
+    handles["victim-of-a"] = sim.schedule(2.0, lambda: fire("b"))
+    handles["c"] = sim.schedule(3.0, lambda: fire("c"))
+    handles["victim-of-c"] = sim.schedule(4.0, lambda: fire("d"))
+    handles["e"] = sim.schedule(5.0, lambda: fire("e"))
+    assert sim.run() == 5.0
+    assert order == ["a", "c", "e"]
+    assert sim.events_processed == 3
+
+
+def test_until_clamps_when_queue_is_empty():
+    sim = Simulator()
+    assert sim.run(until=100.0) == 100.0
+
+
+def test_until_clamps_when_events_lie_beyond():
+    sim = Simulator()
+    fired = []
+    sim.schedule(250.0, lambda: fired.append(1))
+    assert sim.run(until=100.0) == 100.0
+    assert fired == []
+
+
+def test_all_cancelled_queue_does_not_clamp_to_until():
+    """Historical corner: a queue holding only cancelled entries drains
+    mid-skim and the clock stays put (the empty-at-entry path clamps,
+    this one never did — digests depend on the distinction)."""
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None).cancel()
+    sim.schedule(20.0, lambda: None).cancel()
+    assert sim.run(until=100.0) == 0.0
+    assert sim.events_processed == 0
+
+
+def test_max_events_stops_without_consuming_the_next_event():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    # The remaining events are untouched and fire on the next run.
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.events_processed == 5
+
+
+def test_hwm_accumulates_across_runs():
+    sim = Simulator()
+    for i in range(8):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.queue_len_hwm == 8
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.queue_len_hwm == 8  # smaller second run never lowers it

@@ -170,6 +170,29 @@ def test_legacy_cell_injector_deprecated():
     assert net.cell_loss_injector is not None
 
 
+def test_plan_level_train_shim_warns_and_delegates():
+    """The ActiveFaultPlan setter itself warns, and the attached callable
+    is evaluated by the plan (damage lands in the plan's counters)."""
+    active = FaultPlan().activate(num_nodes=4)
+    with pytest.warns(DeprecationWarning,
+                      match="set_legacy_train_injector is deprecated"):
+        active.set_legacy_train_injector(lambda train: 2)
+    lost, corrupted = active.train_faults(train(0, 3, n_cells=10), now=0.0)
+    assert (lost, corrupted) == (2, 0)
+    assert active.cells_dropped[3] == 2
+
+
+def test_plan_level_cell_shim_warns_and_delegates():
+    active = FaultPlan().activate(num_nodes=4)
+    with pytest.warns(DeprecationWarning,
+                      match="set_legacy_cell_injector is deprecated"):
+        active.set_legacy_cell_injector(lambda cell, pkt: True)
+    seg = Segmenter(SimParams().replace(num_processors=4))
+    cell = seg.segment(packet(0, 2, size=40))[0]
+    assert active.cell_fate(cell, packet(0, 2, size=40), now=0.0) == "drop"
+    assert active.cells_dropped[2] == 1
+
+
 # -- CLI grammar --------------------------------------------------------------
 
 def test_parse_round_trip():

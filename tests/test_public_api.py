@@ -27,6 +27,54 @@ def test_all_entries_resolve(name):
         assert hasattr(mod, entry), f"{name}.{entry} missing"
 
 
+def test_top_level_all_is_the_source_of_truth():
+    """``repro.__all__`` is the stable surface documented in docs/api.md.
+
+    Every name promised there must exist, and the promises themselves
+    are pinned: removing or renaming one is an API break and must be a
+    deliberate edit to this list (and to docs/api.md), not a side effect.
+    """
+    import repro
+
+    assert sorted(repro.__all__) == sorted(set(repro.__all__))
+    expected = {
+        "Category",
+        "CholeskyConfig",
+        "Cluster",
+        "CollectiveError",
+        "Context",
+        "Counters",
+        "DeliveryFailed",
+        "FaultPlan",
+        "JacobiConfig",
+        "MessagingService",
+        "PAPER_PARAMS",
+        "RunStats",
+        "SimParams",
+        "TimeAccount",
+        "WaterConfig",
+        "cni_params",
+        "run",
+        "standard_interface_params",
+        "__version__",
+    }
+    assert set(repro.__all__) == expected
+
+
+def test_workload_registry_round_trip():
+    """The by-name entry point agrees with the direct run_* functions."""
+    from repro.apps import WORKLOADS, run, run_jacobi, workload
+
+    assert set(WORKLOADS) == {"jacobi", "water", "cholesky", "collbench"}
+    assert workload("jacobi").runner is run_jacobi
+    with pytest.raises(ValueError, match="unknown app"):
+        workload("fortran-weather-model")
+    with pytest.raises(TypeError, match="expects JacobiConfig"):
+        import repro
+
+        run("jacobi", repro.SimParams(), "cni", config=object())
+
+
 @pytest.mark.parametrize("name", PACKAGES)
 def test_module_docstrings(name):
     mod = importlib.import_module(name)

@@ -23,7 +23,15 @@ fault injection), :mod:`repro.harness` (the paper's tables and
 figures).
 """
 
-from .apps import CholeskyConfig, JacobiConfig, WaterConfig, run
+from .apps import (
+    CholeskyConfig,
+    HaloConfig,
+    JacobiConfig,
+    PingPongConfig,
+    TransposeConfig,
+    WaterConfig,
+    run,
+)
 from .collectives import CollectiveError
 from .core import DeliveryFailed
 from .engine import Category, Counters, RunStats, TimeAccount
@@ -42,12 +50,15 @@ __all__ = [
     "Counters",
     "DeliveryFailed",
     "FaultPlan",
+    "HaloConfig",
     "JacobiConfig",
     "MessagingService",
     "PAPER_PARAMS",
+    "PingPongConfig",
     "RunStats",
     "SimParams",
     "TimeAccount",
+    "TransposeConfig",
     "WaterConfig",
     "cni_params",
     "run",

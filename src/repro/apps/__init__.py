@@ -15,7 +15,8 @@ Each application registers itself in the workload registry
 
 which is exactly how the parallel executor and the CLIs dispatch (see
 docs/api.md).  The collective microbenchmark registers here too under
-``collbench``.
+``collbench``, and the messaging-runtime family (docs/runtime.md) under
+``pingpong``, ``halo`` and ``transpose``.
 """
 
 from .base import SharedArray, SharedScalarTable
@@ -32,6 +33,13 @@ from .jacobi import (
     run_jacobi,
 )
 from .jacobi import sequential_reference as jacobi_reference
+from .halo import (
+    HaloConfig,
+    halo_kernel,
+    neighbours,
+    process_grid,
+    run_halo,
+)
 from .matrices import (
     BandedSPD,
     band_cholesky_reference,
@@ -39,7 +47,17 @@ from .matrices import (
     bcsstk15_like,
     synthetic_fem_spd,
 )
+from .pingpong import (
+    PingPongConfig,
+    pingpong_kernel,
+    run_pingpong,
+)
 from .registry import WORKLOADS, Workload, register_workload, run, workload
+from .transpose import (
+    TransposeConfig,
+    run_transpose,
+    transpose_kernel,
+)
 from .water import (
     WaterConfig,
     build_water,
@@ -65,9 +83,12 @@ __all__ = [
     "BandedSPD",
     "CholeskyConfig",
     "CholeskyShared",
+    "HaloConfig",
     "JacobiConfig",
+    "PingPongConfig",
     "SharedArray",
     "SharedScalarTable",
+    "TransposeConfig",
     "WORKLOADS",
     "WaterConfig",
     "Workload",
@@ -77,14 +98,22 @@ __all__ = [
     "build_jacobi",
     "build_water",
     "cholesky_kernel",
+    "halo_kernel",
     "jacobi_kernel",
     "jacobi_reference",
+    "neighbours",
+    "pingpong_kernel",
+    "process_grid",
     "register_workload",
     "run",
     "run_cholesky",
+    "run_halo",
     "run_jacobi",
+    "run_pingpong",
+    "run_transpose",
     "run_water",
     "synthetic_fem_spd",
+    "transpose_kernel",
     "water_kernel",
     "water_reference",
     "workload",

@@ -1,0 +1,109 @@
+"""2-D halo exchange — the messaging runtime's stencil workload.
+
+The communication skeleton of a distributed stencil code: ranks form a
+2-D process grid, and every iteration each rank computes, then swaps a
+halo strip with its (up to four) non-periodic neighbours using plain
+two-sided sends.  With ``halo_bytes`` at or below the rendezvous
+threshold the exchange rides the eager path; above it every strip does
+an RTS/CTS handshake first (docs/runtime.md).
+
+Messages are self-checking: each carries its ``(sender, iteration)``
+and receivers verify the sender is an actual neighbour and that the
+total count comes out right.  (Per-iteration set equality would be too
+strong — a fast neighbour's iteration ``i+1`` strip may overtake a slow
+neighbour's iteration ``i`` strip, which is fine for a stencil as long
+as each pairwise channel stays ordered.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+from ..engine import RunStats
+from ..params import SimParams
+from ..runtime import Cluster, Context, MessagingService
+from .registry import register_workload
+
+_HALO_DSM_PAGES = 16
+
+
+@dataclass(frozen=True)
+class HaloConfig:
+    """One halo-exchange experiment."""
+
+    iters: int = 4
+    halo_bytes: int = 1024
+    compute_cycles: int = 2000
+
+    def __post_init__(self):
+        if self.iters < 1:
+            raise ValueError("need at least one iteration")
+        if self.halo_bytes < 1:
+            raise ValueError("halo_bytes must be >= 1")
+        if self.compute_cycles < 0:
+            raise ValueError("compute_cycles must be >= 0")
+
+
+def process_grid(nprocs: int) -> Tuple[int, int]:
+    """Most-square factorization ``(px, py)`` with ``px * py == nprocs``."""
+    px = 1
+    for d in range(1, int(nprocs ** 0.5) + 1):
+        if nprocs % d == 0:
+            px = d
+    return px, nprocs // px
+
+
+def neighbours(rank: int, nprocs: int) -> List[int]:
+    """Up/down/left/right neighbour ranks (non-periodic grid)."""
+    px, py = process_grid(nprocs)
+    x, y = rank % px, rank // px
+    out = []
+    if y > 0:
+        out.append(rank - px)
+    if y < py - 1:
+        out.append(rank + px)
+    if x > 0:
+        out.append(rank - 1)
+    if x < px - 1:
+        out.append(rank + 1)
+    return out
+
+
+def halo_kernel(ctx: Context, cfg: HaloConfig) -> Generator:
+    """SPMD halo-exchange worker."""
+    svc = MessagingService(ctx, buffer_bytes=max(8192, cfg.halo_bytes))
+    nbrs = neighbours(ctx.rank, ctx.nprocs)
+    received = 0
+    for it in range(cfg.iters):
+        yield from ctx.compute(cfg.compute_cycles)
+        for nb in nbrs:
+            yield from svc.send(nb, cfg.halo_bytes, payload=(ctx.rank, it))
+        for _ in nbrs:
+            desc = yield from svc.recv()
+            sender, _sent_it = desc.payload
+            if sender not in nbrs:
+                raise AssertionError(
+                    f"rank {ctx.rank} got a strip from non-neighbour {sender}")
+            if desc.length != cfg.halo_bytes:
+                raise AssertionError(
+                    f"expected {cfg.halo_bytes}-byte strip, got {desc.length}")
+            received += 1
+    if received != cfg.iters * len(nbrs):
+        raise AssertionError(
+            f"rank {ctx.rank}: {received} strips received, "
+            f"expected {cfg.iters * len(nbrs)}")
+    yield from ctx.barrier(0)
+    return None
+
+
+@register_workload("halo", HaloConfig, default_config=HaloConfig,
+                   description="2-D stencil halo exchange over the "
+                               "messaging runtime")
+def run_halo(params: SimParams, interface: str,
+             cfg: HaloConfig) -> Tuple[RunStats, None]:
+    """Run one halo-exchange experiment; returns (stats, None)."""
+    params = params.replace(dsm_address_space_pages=_HALO_DSM_PAGES)
+    cluster = Cluster(params, interface=interface)
+    stats = cluster.run(lambda ctx: halo_kernel(ctx, cfg))
+    return stats, None

@@ -1,0 +1,111 @@
+"""Ping-pong — the messaging runtime's latency microbenchmark.
+
+The Figure-14-style measurement: rank 0 sends a message of a fixed size
+to rank 1, rank 1 sends it straight back, and half the measured round
+trip is the one-way user-to-user latency.  Sweeping the size across
+``SimParams.rendezvous_threshold`` exposes the eager/rendezvous knee
+(the extra RTS/CTS round trip appears exactly above the threshold);
+the ``read``/``write`` modes time the one-sided RDMA operations against
+an exposed window instead (docs/runtime.md).
+
+Round-trip samples land in the ``runtime.msg_rtt_ns`` histogram on
+rank 0, which is what the ``messaging`` experiment reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Tuple
+
+from ..engine import RunStats
+from ..params import SimParams
+from ..runtime import Cluster, Context, MessagingService
+from .registry import register_workload
+
+#: Modest segment: the benchmark messages live in private buffers; the
+#: shared segment only backs the barrier/collective machinery.
+_PINGPONG_DSM_PAGES = 16
+
+
+@dataclass(frozen=True)
+class PingPongConfig:
+    """One ping-pong experiment."""
+
+    rounds: int = 8
+    message_bytes: int = 2048
+    #: ``msg`` — two-sided send/recv; ``read``/``write`` — one-sided
+    #: RDMA against rank 1's exposed window.
+    mode: str = "msg"
+
+    def __post_init__(self):
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+        if self.message_bytes < 0:
+            raise ValueError("message_bytes must be >= 0")
+        if self.mode not in ("msg", "read", "write"):
+            raise ValueError(f"unknown ping-pong mode {self.mode!r}")
+
+
+def pingpong_kernel(ctx: Context, cfg: PingPongConfig) -> Generator:
+    """SPMD ping-pong worker (only ranks 0 and 1 exchange)."""
+    svc = MessagingService(
+        ctx, buffer_bytes=max(8192, cfg.message_bytes))
+    if cfg.mode in ("read", "write"):
+        yield from _one_sided(ctx, svc, cfg)
+        return None
+    if ctx.rank == 0:
+        for r in range(cfg.rounds):
+            t0 = ctx.sim.now
+            yield from svc.send(1, cfg.message_bytes, payload=("ping", r))
+            desc = yield from svc.recv()
+            if desc.payload != ("pong", r):
+                raise AssertionError(
+                    f"round {r}: expected ('pong', {r}), got {desc.payload!r}")
+            if desc.length != cfg.message_bytes:
+                raise AssertionError(
+                    f"round {r}: expected {cfg.message_bytes} bytes, "
+                    f"got {desc.length}")
+            svc.observe_rtt(ctx.sim.now - t0)
+    elif ctx.rank == 1:
+        for r in range(cfg.rounds):
+            desc = yield from svc.recv()
+            if desc.payload != ("ping", r):
+                raise AssertionError(
+                    f"round {r}: expected ('ping', {r}), got {desc.payload!r}")
+            yield from svc.send(0, cfg.message_bytes, payload=("pong", r))
+    yield from ctx.barrier(0)
+    return None
+
+
+def _one_sided(ctx: Context, svc: MessagingService,
+               cfg: PingPongConfig) -> Generator:
+    """RDMA mode: rank 0 reads from / writes into rank 1's window.
+
+    Every rank exposes symmetrically, so the window address is
+    SPMD-identical cluster-wide and rank 0 can target rank 1's copy
+    without an address exchange."""
+    window = svc.expose(max(cfg.message_bytes, 1))
+    yield from ctx.barrier(0)
+    if ctx.rank == 0:
+        for _ in range(cfg.rounds):
+            t0 = ctx.sim.now
+            if cfg.mode == "read":
+                yield from svc.remote_read(1, window, cfg.message_bytes)
+            else:
+                yield from svc.remote_write(1, window, cfg.message_bytes)
+            svc.observe_rtt(ctx.sim.now - t0)
+    yield from ctx.barrier(1)
+    return None
+
+
+@register_workload("pingpong", PingPongConfig, default_config=PingPongConfig,
+                   description="messaging-runtime latency microbenchmark")
+def run_pingpong(params: SimParams, interface: str,
+                 cfg: PingPongConfig) -> Tuple[RunStats, None]:
+    """Run one ping-pong experiment; returns (stats, None)."""
+    if params.num_processors < 2:
+        raise ValueError("ping-pong needs at least 2 processors")
+    params = params.replace(dsm_address_space_pages=_PINGPONG_DSM_PAGES)
+    cluster = Cluster(params, interface=interface)
+    stats = cluster.run(lambda ctx: pingpong_kernel(ctx, cfg))
+    return stats, None

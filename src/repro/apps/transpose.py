@@ -1,0 +1,87 @@
+"""Bulk all-to-all — the messaging runtime's bandwidth workload.
+
+The communication skeleton of a distributed matrix transpose (or FFT
+redistribution): every round, each rank sends one block to every other
+rank and receives one block from every other rank.  With the default
+``block_bytes`` above the rendezvous threshold this is the stress test
+for the rendezvous protocol's *early CTS*: all ranks fire their RTSs
+simultaneously while none has posted a receive, and the exchange only
+completes because the engine allocates the landing buffer and answers
+CTS without application involvement (docs/runtime.md — a
+receiver-driven rendezvous would deadlock here).
+
+Blocks carry ``(sender, round)`` payloads; each rank verifies it got
+exactly ``rounds`` blocks from every peer.  (The census is taken over
+the whole run, not per round: a fast peer's round ``r+1`` block may
+overtake a slow peer's still-streaming round ``r`` block, which the
+exchange tolerates by construction.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Tuple
+
+from ..engine import RunStats
+from ..params import SimParams
+from ..runtime import Cluster, Context, MessagingService
+from .registry import register_workload
+
+_TRANSPOSE_DSM_PAGES = 16
+
+
+@dataclass(frozen=True)
+class TransposeConfig:
+    """One all-to-all experiment."""
+
+    rounds: int = 2
+    block_bytes: int = 8192
+
+    def __post_init__(self):
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+        if self.block_bytes < 1:
+            raise ValueError("block_bytes must be >= 1")
+
+
+def transpose_kernel(ctx: Context, cfg: TransposeConfig) -> Generator:
+    """SPMD all-to-all worker (shifted-peer schedule)."""
+    svc = MessagingService(
+        ctx,
+        n_recv_buffers=max(16, 2 * ctx.nprocs),
+        buffer_bytes=max(8192, cfg.block_bytes),
+    )
+    n = ctx.nprocs
+    got = {}
+    for rnd in range(cfg.rounds):
+        for offset in range(1, n):
+            dst = (ctx.rank + offset) % n
+            yield from svc.send(dst, cfg.block_bytes,
+                                payload=(ctx.rank, rnd))
+        for _ in range(n - 1):
+            desc = yield from svc.recv()
+            sender, _sent_rnd = desc.payload
+            got[sender] = got.get(sender, 0) + 1
+            if desc.length != cfg.block_bytes:
+                raise AssertionError(
+                    f"expected {cfg.block_bytes}-byte block, "
+                    f"got {desc.length}")
+    expected = {p: cfg.rounds for p in range(n) if p != ctx.rank}
+    if got != expected:
+        raise AssertionError(
+            f"rank {ctx.rank}: block census {got} != {expected}")
+    yield from ctx.barrier(0)
+    return None
+
+
+@register_workload("transpose", TransposeConfig,
+                   default_config=TransposeConfig,
+                   description="bulk all-to-all (rendezvous stress) over "
+                               "the messaging runtime")
+def run_transpose(params: SimParams, interface: str,
+                  cfg: TransposeConfig) -> Tuple[RunStats, None]:
+    """Run one all-to-all experiment; returns (stats, None)."""
+    params = params.replace(dsm_address_space_pages=_TRANSPOSE_DSM_PAGES)
+    cluster = Cluster(params, interface=interface)
+    stats = cluster.run(lambda ctx: transpose_kernel(ctx, cfg))
+    return stats, None

@@ -158,6 +158,26 @@ class CNIInterface(NetworkInterface):
         )
         return swap_ns
 
+    def install_runtime_handler(self, key: int, fn, code_size: int) -> float:
+        """Swap in a messaging-runtime AIH and program its activation
+        pattern (docs/runtime.md).  Same single-kind scheme as
+        :meth:`install_collective_handler`, under
+        :data:`~repro.network.PacketKind.RUNTIME`."""
+        swap_ns = self.handlers.install(key, fn, code_size)
+        self.pathfinder.install(
+            Pattern(
+                elements=(
+                    PatternElement(offset=0, length=1, mask=0xFF,
+                                   value=int(PacketKind.RUNTIME)),
+                    # header bytes 8-9: handler key
+                    PatternElement(offset=8, length=2, mask=0xFFFF,
+                                   value=key),
+                ),
+                target=(AIH_TARGET, key),
+            )
+        )
+        return swap_ns
+
     # -- host send path ------------------------------------------------------------
     def host_send_cost_ns(self) -> float:
         """User-level enqueue: a few stores onto the ADC transmit ring."""

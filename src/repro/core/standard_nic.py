@@ -114,7 +114,7 @@ class StandardInterface(NetworkInterface):
         yield host_ns
 
         if packet.kind in (PacketKind.DSM_PROTOCOL, PacketKind.DSM_PAGE,
-                           PacketKind.COLLECTIVE):
+                           PacketKind.COLLECTIVE, PacketKind.RUNTIME):
             if self.protocol_sink is None:
                 self.packets_dropped += 1
                 return

@@ -431,6 +431,95 @@ def collective_latency_experiment(
     return result
 
 
+def _rtt_mean_one_way_us(stats: RunStats) -> float:
+    """Mean one-way latency (µs) from rank 0's round-trip histogram."""
+    hist = stats.metrics.get("node0.runtime.msg_rtt_ns")
+    if not hist or not hist.get("count"):
+        raise AssertionError("pingpong run recorded no msg_rtt_ns samples")
+    return hist["sum"] / hist["count"] / 2.0 / 1000.0
+
+
+def messaging_experiment(
+    sizes: Sequence[int],
+    rounds: int = 8,
+    base_params: Optional[SimParams] = None,
+    name: str = "",
+    jobs: Optional[int] = None,
+) -> SeriesResult:
+    """Messaging-runtime extension (Figure-14 style, but user-to-user):
+    one-way ping-pong latency vs message size on both interfaces, with
+    the eager/rendezvous crossover at ``SimParams.rendezvous_threshold``
+    (docs/runtime.md).
+
+    Two claims are *asserted*, not just plotted: every run took the
+    protocol its size dictates (eager at or below the threshold,
+    rendezvous above — counted from ``runtime.eager_sends`` /
+    ``runtime.rendezvous_sends``), and a one-sided ``remote_read`` arm
+    shows a higher Message-Cache transmit hit ratio on the CNI than on
+    the standard interface (where the ratio is necessarily zero — there
+    is no cache to hit).
+    """
+    from ..apps import PingPongConfig
+
+    base = base_params or SimParams()
+    base = base.replace(num_processors=2)
+    result = SeriesResult(
+        name=name or "messaging-latency",
+        x_label="message_bytes",
+        xs=[float(s) for s in sizes],
+    )
+    specs = [
+        RunSpec("pingpong", base, iface,
+                PingPongConfig(rounds=rounds, message_bytes=int(size)),
+                meta=(("arm", "msg"), ("message_bytes", int(size))))
+        for size in sizes for iface in ("cni", "standard")
+    ]
+    read_bytes = min(4096, max(int(s) for s in sizes))
+    specs += [
+        RunSpec("pingpong", base, iface,
+                PingPongConfig(rounds=rounds, message_bytes=read_bytes,
+                               mode="read"),
+                meta=(("arm", "read"),))
+        for iface in ("cni", "standard")
+    ]
+    runs = run_map(specs, jobs=jobs)
+    read_ratio: Dict[str, float] = {}
+    for spec, stats in zip(specs, runs):
+        arm = dict(spec.meta)["arm"]
+        if arm == "read":
+            read_ratio[spec.interface] = stats.network_cache_hit_ratio
+            continue
+        size = dict(spec.meta)["message_bytes"]
+        result.add_point(f"{spec.interface}_latency_us",
+                         _rtt_mean_one_way_us(stats))
+        agg = aggregate_nodes(stats.metrics)
+        eager = agg.get("runtime.eager_sends", 0.0)
+        rdv = agg.get("runtime.rendezvous_sends", 0.0)
+        want_eager = size <= spec.params.rendezvous_threshold
+        # Both directions of every round go through the size-dispatched
+        # path, so the counts are all-or-nothing.
+        if want_eager and (eager != 2 * rounds or rdv != 0):
+            raise AssertionError(
+                f"{size}B ≤ threshold but counted eager={eager:.0f} "
+                f"rendezvous={rdv:.0f} ({spec.describe()})")
+        if not want_eager and (rdv != 2 * rounds or eager != 0):
+            raise AssertionError(
+                f"{size}B > threshold but counted eager={eager:.0f} "
+                f"rendezvous={rdv:.0f} ({spec.describe()})")
+    if read_ratio["cni"] <= read_ratio["standard"]:
+        raise AssertionError(
+            f"remote_read Message-Cache hit ratio not better on CNI: "
+            f"cni={read_ratio['cni']:.3f} vs "
+            f"standard={read_ratio['standard']:.3f}")
+    result.validate()
+    result.notes = (
+        f"{rounds} rounds/run at threshold "
+        f"{base.rendezvous_threshold}B; remote_read mcache hit ratio "
+        f"cni={read_ratio['cni']:.3f} vs standard="
+        f"{read_ratio['standard']:.3f}")
+    return result
+
+
 def table1_parameters() -> TableResult:
     """Table 1: the simulation parameters actually in force."""
     p = SimParams()

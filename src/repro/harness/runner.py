@@ -54,6 +54,7 @@ from .experiments import (
     fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
+    messaging_experiment,
     overhead_table_experiment,
     page_size_experiment,
     speedup_experiment,
@@ -87,6 +88,11 @@ class Scale:
     message_sizes: Sequence[int]
     loss_rates: Sequence[float]
     coll_rounds: int = 8
+    #: Sizes for the messaging-runtime latency sweep; straddle
+    #: ``SimParams.rendezvous_threshold`` so the knee is visible.
+    messaging_sizes: Sequence[int] = (256, 1024, 2048, 4096, 6144, 8192,
+                                      12288)
+    messaging_rounds: int = 6
 
 
 QUICK = Scale(
@@ -107,6 +113,8 @@ QUICK = Scale(
     message_sizes=(0, 512, 1024, 2048, 3072, 4096),
     loss_rates=(0.0, 0.002, 0.01),
     coll_rounds=6,
+    messaging_sizes=(256, 1024, 2048, 4096, 6144, 8192, 12288),
+    messaging_rounds=4,
 )
 
 PAPER = Scale(
@@ -127,6 +135,9 @@ PAPER = Scale(
     message_sizes=(0, 512, 1024, 2048, 3072, 4096),
     loss_rates=(0.0, 0.001, 0.005, 0.01, 0.02),
     coll_rounds=24,
+    messaging_sizes=(256, 512, 1024, 2048, 4096, 6144, 8192, 12288,
+                     16384),
+    messaging_rounds=12,
 )
 
 
@@ -301,6 +312,16 @@ def exp_collectives(scale: Scale, base: Optional[SimParams] = None) -> Result:
                                          name="collectives-latency")
 
 
+def exp_messaging(scale: Scale, base: Optional[SimParams] = None) -> Result:
+    """Messaging-runtime extension: ping-pong latency vs size with the
+    eager/rendezvous knee, plus the remote_read Message-Cache check
+    (docs/runtime.md)."""
+    return messaging_experiment(scale.messaging_sizes,
+                                rounds=scale.messaging_rounds,
+                                base_params=base,
+                                name="messaging-latency")
+
+
 EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "table1": exp_table1,
     "fig2": exp_fig2,
@@ -322,6 +343,7 @@ EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "table5": exp_table5,
     "faults": exp_faults,
     "collectives": exp_collectives,
+    "messaging": exp_messaging,
 }
 
 

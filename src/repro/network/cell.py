@@ -49,6 +49,12 @@ class PacketKind(enum.IntEnum):
     and releases; see docs/collectives.md).  On a CNI the PATHFINDER
     classifies these into collective AIH handlers."""
 
+    RUNTIME = 7
+    """Messaging-runtime protocol (rendezvous RTS/CTS/data and RDMA-style
+    one-sided reads/writes; see docs/runtime.md).  On a CNI the
+    PATHFINDER classifies these into the messaging engine's AIH
+    handlers, so the library's responder runs on the NI processor."""
+
 
 FLAG_CACHEABLE = 0x01
 """Header flag: this buffer should be entered into the Message Cache

@@ -216,6 +216,14 @@ class SimParams:
     ack the transport raises :class:`~repro.core.DeliveryFailed` instead
     of hanging the run."""
 
+    rendezvous_threshold: int = 4096
+    """Eager/rendezvous crossover of the messaging runtime
+    (docs/runtime.md): sends of at most this many bytes copy through the
+    pre-posted free-queue buffers (eager); larger sends do an RTS/CTS
+    handshake and stream page-sized chunks into a receiver-allocated
+    landing buffer (rendezvous).  The MPICH2-over-InfiniBand design
+    point; 0 forces every ``MessagingService.send`` to rendezvous."""
+
     reassembly_timeout_ns: float = 5_000_000.0
     """Receive-side SAR eviction: a partial packet whose cells stop
     arriving for this long is aborted and counted as dropped (the
@@ -383,6 +391,8 @@ class SimParams:
         for name in ("reliab_timeout_ns", "reassembly_timeout_ns"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.rendezvous_threshold < 0:
+            raise ValueError("rendezvous_threshold must be >= 0")
         if self.reliab_backoff < 1.0:
             raise ValueError("reliab_backoff must be >= 1 (timeouts never shrink)")
         if self.reliab_max_attempts < 1:

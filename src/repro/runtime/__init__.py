@@ -19,12 +19,16 @@ from .cluster import AppKernel, Cluster
 from .context import Context
 from .messaging import MessagingService
 from .node import DSM_HANDLER_CODE_BYTES, Node
+from .protocol import RT_HANDLER_CODE_BYTES, MessagingEngine, RtMsgType
 
 __all__ = [
     "AppKernel",
     "Cluster",
     "Context",
     "DSM_HANDLER_CODE_BYTES",
+    "MessagingEngine",
     "MessagingService",
     "Node",
+    "RT_HANDLER_CODE_BYTES",
+    "RtMsgType",
 ]

@@ -26,6 +26,7 @@ from ..obs import MetricsRegistry, SpanTracer
 from ..params import SimParams, cni_params, standard_interface_params
 from .context import Context
 from .node import DSM_HANDLER_CODE_BYTES, Node
+from .protocol import RT_HANDLER_CODE_BYTES, MessagingEngine, RtMsgType
 
 #: An SPMD application kernel: ``kernel(ctx) -> Generator``.
 AppKernel = Callable[[Context], Generator]
@@ -112,6 +113,10 @@ class Cluster:
             node.coll = make_collective_engine(
                 node, params.num_processors, root=self.homes.barrier_manager)
             node.coll.consistency = engine
+            # Messaging engine (docs/runtime.md): rendezvous responder +
+            # RDMA window logic.  Built on every platform so the
+            # ``runtime.*`` metric catalog is run-independent.
+            node.rt = MessagingEngine(node, params.num_processors)
             node.nic.set_protocol_sink(node.dispatch_protocol_packet)
         self._setup_connections()
         self._ran = False
@@ -157,6 +162,14 @@ class Cluster:
                 for cmt in CollMsgType:
                     node.nic.install_collective_handler(
                         int(cmt), node.coll.handle_packet, per_coll
+                    )
+                # Messaging-runtime AIHs: the rendezvous responder and
+                # RDMA window logic run on the NI processor (with AIH
+                # ablated away the same patterns bounce to the host).
+                per_rt = RT_HANDLER_CODE_BYTES // len(RtMsgType)
+                for rmt in RtMsgType:
+                    node.nic.install_runtime_handler(
+                        int(rmt), node.rt.handle_packet, per_rt
                     )
             else:
                 node.dsm_channel_id = 1

@@ -173,25 +173,35 @@ class Context:
         return result
 
     # -------------------------------------------------------------- messaging --
-    def send(self, dst: int, vaddr: int, nbytes: int,
+    def send(self, dst: int, vaddr: Optional[int], nbytes: int,
              channel_id: Optional[int] = None,
-             cacheable: bool = True, payload=None) -> Generator:
-        """User-level message send of a registered buffer."""
+             cacheable: bool = True, payload=None,
+             kind=None, handler_key: int = 0) -> Generator:
+        """User-level message send of a registered buffer.
+
+        ``vaddr=None`` sends an immediate/control payload (no buffer to
+        flush or DMA); ``kind``/``handler_key`` let the messaging
+        runtime stamp protocol packets (docs/runtime.md) — plain
+        application sends leave both at their defaults and travel as
+        DATA.
+        """
         from ..core.adc import TransmitDescriptor
 
-        yield from self.node.flush_buffer(vaddr, nbytes)
+        if vaddr is not None:
+            yield from self.node.flush_buffer(vaddr, nbytes)
         t0 = self.sim.now
         done = self.sim.event()
         desc = TransmitDescriptor(
             dst_node=dst,
             vaddr=vaddr,
             length=nbytes,
-            handler_key=0,
+            handler_key=handler_key,
             cacheable=cacheable,
             payload=payload,
             channel_id=(channel_id if channel_id is not None
                         else self.node.dsm_channel_id),
             completion=done,
+            kind=kind,
         )
         yield from self.node.nic.host_send(desc)
         self.node.account_overhead(self.sim.now - t0)

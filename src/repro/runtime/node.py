@@ -97,15 +97,18 @@ class Node:
         self.dsm_channel_id = 0
         self.engine = None  # set by Cluster.attach_engine
         self.coll = None  # collective engine, set by Cluster
+        self.rt = None  # messaging engine, set by Cluster
 
     def dispatch_protocol_packet(self, packet, on_board: bool):
         """The node's protocol sink: route an inbound protocol packet to
         the engine that owns its kind (COLLECTIVE → collective engine,
-        everything else → the DSM engine).  Returns the handler
-        generator; *where* it runs (NI processor vs host CPU) is the
-        caller's ``on_board`` platform fact."""
+        RUNTIME → messaging engine, everything else → the DSM engine).
+        Returns the handler generator; *where* it runs (NI processor vs
+        host CPU) is the caller's ``on_board`` platform fact."""
         if packet.kind is PacketKind.COLLECTIVE:
             return self.coll.handle_packet(packet, on_board)
+        if packet.kind is PacketKind.RUNTIME:
+            return self.rt.handle_packet(packet, on_board)
         return self.engine.handle_packet(packet, on_board)
 
     # ------------------------------------------------------------ accounting --

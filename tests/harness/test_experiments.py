@@ -18,7 +18,7 @@ from repro.harness import (
 def test_registry_covers_every_table_and_figure():
     expected = {f"fig{i}" for i in range(2, 15)} | {
         f"table{i}" for i in range(1, 6)
-    } | {"faults", "collectives"}
+    } | {"faults", "collectives", "messaging"}
     assert set(EXPERIMENTS) == expected
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import Simulator
+from repro.faults import CellLoss, FaultPlan
 from repro.network import CellTrain, Network, Packet, PacketKind, Segmenter
 from repro.params import SimParams
 
@@ -72,10 +73,14 @@ def test_loopback_rejected():
 
 
 def test_loss_injection():
-    sim, params, net = make_net()
+    # Drop exactly the last cell of the train: nth = the train's cell
+    # count, deterministic per the plan's schedule position.
+    p = packet(0, 1, size=4096)
+    n_cells = SimParams().cells_for_packet(p.wire_bytes)
+    plan = FaultPlan(seed=0, schedules=(CellLoss(nth=n_cells),))
+    sim, params, net = make_net(fault_plan=plan)
     seg = Segmenter(params)
-    net.loss_injector = lambda train: 1  # drop one cell of every train
-    net.send_train(seg.make_train(packet(0, 1, size=4096)))
+    net.send_train(seg.make_train(p))
     sim.run()
     ok, train = net.rx_queues[1].try_get()
     assert ok and not train.intact

@@ -46,12 +46,15 @@ def test_top_level_all_is_the_source_of_truth():
         "Counters",
         "DeliveryFailed",
         "FaultPlan",
+        "HaloConfig",
         "JacobiConfig",
         "MessagingService",
         "PAPER_PARAMS",
+        "PingPongConfig",
         "RunStats",
         "SimParams",
         "TimeAccount",
+        "TransposeConfig",
         "WaterConfig",
         "cni_params",
         "run",
@@ -65,7 +68,8 @@ def test_workload_registry_round_trip():
     """The by-name entry point agrees with the direct run_* functions."""
     from repro.apps import WORKLOADS, run, run_jacobi, workload
 
-    assert set(WORKLOADS) == {"jacobi", "water", "cholesky", "collbench"}
+    assert set(WORKLOADS) == {"jacobi", "water", "cholesky", "collbench",
+                              "pingpong", "halo", "transpose"}
     assert workload("jacobi").runner is run_jacobi
     with pytest.raises(ValueError, match="unknown app"):
         workload("fortran-weather-model")
@@ -103,4 +107,5 @@ def test_apps_expose_run_helpers():
 def test_harness_exposes_every_experiment():
     from repro.harness import EXPERIMENTS
 
-    assert len(EXPERIMENTS) == 20  # 13 figures + 5 tables + faults + collectives
+    # 13 figures + 5 tables + faults + collectives + messaging
+    assert len(EXPERIMENTS) == 21

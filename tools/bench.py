@@ -12,7 +12,10 @@ Measures three things on a fixed, pinned workload set:
   executor's whole point);
 * **collective throughput** — simulated barrier crossings/sec on the
   NIC-resident and host-based collective engines (one pinned barrier
-  workload each).
+  workload each);
+* **messaging throughput** — simulated messages/sec through the
+  messaging runtime's eager path (one pinned ping-pong workload,
+  docs/runtime.md).
 
 Results land in ``BENCH_<date>.json`` at the repo root, establishing a
 perf trajectory across PRs.  ``--check OLD.json`` compares the current
@@ -48,6 +51,7 @@ SCHEMA_VERSION = 1
 CHECKED_METRICS = (
     ("engine.events_per_sec", True),
     ("experiments.total_s", False),
+    ("messaging.msgs_per_sec", True),
 )
 
 
@@ -156,6 +160,30 @@ def _time_collectives(smoke: bool) -> Dict[str, Any]:
     return out
 
 
+def _time_messaging(smoke: bool) -> Dict[str, Any]:
+    """Pinned eager ping-pong; simulated messages/sec of the messaging
+    runtime's hot path (protocol engine + NIC receive dispatch)."""
+    from repro.apps import PingPongConfig
+    from repro.harness import RunSpec, execute_run
+    from repro.params import SimParams
+
+    rounds = 64 if smoke else 256
+    cfg = PingPongConfig(rounds=rounds, message_bytes=1024)
+    spec = RunSpec("pingpong", SimParams().replace(num_processors=2),
+                   "cni", cfg)
+    execute_run(spec)  # warm-up
+    t0 = time.perf_counter()
+    execute_run(spec)
+    dt = time.perf_counter() - t0
+    msgs = 2.0 * rounds
+    return {
+        "workload": f"pingpong rounds={rounds} 1024B p2 cni",
+        "messages": msgs,
+        "wall_s": dt,
+        "msgs_per_sec": msgs / dt if dt > 0 else 0.0,
+    }
+
+
 def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     """Run every arm; return the BENCH document (sans date stamp)."""
     jobs = jobs or (os.cpu_count() or 1)
@@ -178,6 +206,10 @@ def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
         c = doc["collectives"][engine]
         print(f"[bench]   {engine}: {c['crossings_per_sec']:,.0f} "
               f"crossings/s ({c['interface']})")
+    print("[bench] messaging-runtime messages/sec ...")
+    doc["messaging"] = _time_messaging(smoke)
+    print(f"[bench]   {doc['messaging']['msgs_per_sec']:,.0f} msgs/s "
+          f"({doc['messaging']['workload']})")
     print(f"[bench] parallel speedup at --jobs {jobs} vs 1 ...")
     doc["parallel"] = _time_parallel_speedup(jobs, smoke)
     p = doc["parallel"]

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Docs-consistency check: the metric catalog is not allowed to lie.
+"""Docs-consistency check: the metric catalogs are not allowed to lie.
 
 Extracts every backticked dotted metric name between the
 ``<!-- metric-catalog:start -->`` / ``<!-- metric-catalog:end -->``
-markers in docs/observability.md, smoke-runs the simulator (a CNI
-cluster, a standard cluster, and one messaging microbenchmark — the
-union exercises every subsystem), and fails if
+markers in docs/observability.md and docs/runtime.md (the
+``runtime.*`` scope is cataloged next to its subsystem), smoke-runs the
+simulator (a CNI cluster, a standard cluster, and two messaging
+microbenchmarks — the union exercises every subsystem), and fails if
 
 * any documented name was never registered (stale docs), or
 * any registered name outside the run-dependent ``cluster.*`` mirror is
@@ -27,6 +28,9 @@ from typing import Set, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOC_PATH = os.path.join(REPO_ROOT, "docs", "observability.md")
+RUNTIME_DOC_PATH = os.path.join(REPO_ROOT, "docs", "runtime.md")
+#: Every docs page carrying a marker-delimited metric catalog.
+CATALOG_DOCS = (DOC_PATH, RUNTIME_DOC_PATH)
 START = "<!-- metric-catalog:start -->"
 END = "<!-- metric-catalog:end -->"
 
@@ -55,9 +59,18 @@ def documented_names(doc_path: str = DOC_PATH) -> Set[str]:
     return {_NODE_RE.sub("node0.", n) for n in names}
 
 
+def all_documented_names() -> Set[str]:
+    """Union of every catalog-bearing docs page."""
+    names: Set[str] = set()
+    for doc in CATALOG_DOCS:
+        names.update(documented_names(doc))
+    return names
+
+
 def registered_names() -> Set[str]:
     """Union of metric names a smoke-run of the simulator registers."""
-    from repro.apps import JacobiConfig, run_jacobi
+    from repro.apps import JacobiConfig, PingPongConfig, run_jacobi, \
+        run_pingpong
     from repro.harness.experiments import one_way_latency_ns
     from repro.harness.export import GLOBAL_METRICS_LOG
     from repro.params import SimParams
@@ -68,6 +81,12 @@ def registered_names() -> Set[str]:
         stats, _ = run_jacobi(
             SimParams().replace(num_processors=2), interface, cfg)
         names.update(stats.metrics)
+    # One rendezvous-sized ping-pong so the runtime.* scope is exercised,
+    # not merely registered.
+    stats, _ = run_pingpong(
+        SimParams().replace(num_processors=2), "cni",
+        PingPongConfig(rounds=2, message_bytes=8192))
+    names.update(stats.metrics)
     GLOBAL_METRICS_LOG.clear()
     one_way_latency_ns(1024, "cni", SimParams())
     names.update(GLOBAL_METRICS_LOG.entries[-1]["metrics"])
@@ -77,7 +96,7 @@ def registered_names() -> Set[str]:
 
 def check() -> Tuple[Set[str], Set[str]]:
     """Returns (documented-but-never-registered, registered-but-undocumented)."""
-    documented = documented_names()
+    documented = all_documented_names()
     registered = registered_names()
     stale = documented - registered
     undocumented = {n for n in registered - documented
@@ -92,12 +111,13 @@ def main() -> int:
         for name in sorted(stale):
             print(f"  {name}")
     if undocumented:
-        print("registered but missing from docs/observability.md catalog:")
+        print("registered but missing from the docs metric catalogs "
+              "(docs/observability.md, docs/runtime.md):")
         for name in sorted(undocumented):
             print(f"  {name}")
     if stale or undocumented:
         return 1
-    print(f"ok: {len(documented_names())} documented metric names all "
+    print(f"ok: {len(all_documented_names())} documented metric names all "
           f"registered; no undocumented instrumentation")
     return 0
 

@@ -42,7 +42,7 @@ by the NIC with no engine involvement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from ..engine import Category, SimulationError
 from ..network import Packet, PacketKind
@@ -62,6 +62,9 @@ __all__ = [
 
 #: Operations every engine implements (and the per-op latency metrics).
 OPS = ("barrier", "allreduce", "reduce", "broadcast", "multicast")
+
+#: Sentinel a deadline expiry delivers to a waiter (never a real value).
+_TIMEOUT = object()
 
 
 @dataclass
@@ -117,6 +120,9 @@ class CollectiveEngine:
         #: Releases that arrived before their receiver blocked
         #: (broadcast/multicast races), keyed (coll_id, seq).
         self._pending: Dict[Tuple[int, int], Any] = {}
+        #: Episodes this node abandoned on a deadline expiry: a late
+        #: wake/release for one of these keys is dropped, not an error.
+        self._abandoned: Set[Tuple[int, int]] = set()
 
         scope = node.metrics.scope("coll")
         self._m_ops = scope.counter("ops_completed")
@@ -126,6 +132,7 @@ class CollectiveEngine:
         self._m_nic_steps = scope.counter("nic_steps")
         self._m_host_steps = scope.counter("host_steps")
         self._m_host_intr = scope.counter("host_interrupts")
+        self._m_timeouts = scope.counter("timeouts")
         self._op_ns = {op: scope.histogram(f"{op}_ns") for op in OPS}
 
     # ------------------------------------------------------------- platform --
@@ -181,7 +188,7 @@ class CollectiveEngine:
                     node, CollMsgType.COLL_RELEASE, msg)
             result = value
         else:
-            result = yield from self._await_release(key)
+            result = yield from self._await_release(key, "broadcast")
         self._finish_op("broadcast", t0)
         return result
 
@@ -209,7 +216,7 @@ class CollectiveEngine:
             self._finish_op("multicast", t0)
             return value
         if self.me in targets:
-            result = yield from self._await_release(key)
+            result = yield from self._await_release(key, "multicast")
             self._finish_op("multicast", t0)
             return result
         return None
@@ -237,7 +244,7 @@ class CollectiveEngine:
             yield from self._app_send(root, CollMsgType.COLL_ARRIVE, msg)
         result = None
         if w is not None:
-            result = yield from self._wait(w)
+            result = yield from self._wait(w, key, op)
         self._finish_op(op, t0)
         return result
 
@@ -305,6 +312,11 @@ class CollectiveEngine:
     def _release_logic(self, msg: CollRelease) -> None:
         """Participant-side release step."""
         key = (msg.coll_id, msg.seq)
+        if key in self._abandoned:
+            # This node already gave up on the episode (deadline abort);
+            # the straggling release must not park forever in _pending.
+            self._abandoned.discard(key)
+            return
         value = msg.value
         if (msg.op == "barrier" and self.consistency is not None
                 and value is not None):
@@ -397,6 +409,9 @@ class CollectiveEngine:
     def _wake(self, key, value=None) -> None:
         w = self._waiters.get(key)
         if w is None:
+            if key in self._abandoned:
+                self._abandoned.discard(key)
+                return
             raise SimulationError(
                 f"node {self.me}: spurious collective wake of {key}")
         w.outstanding -= 1
@@ -404,29 +419,81 @@ class CollectiveEngine:
             del self._waiters[key]
             w.event.trigger(value)
 
-    def _wait(self, w: _Waiter) -> Generator:
-        """Block the app thread on ``w``; charge delay + wake overhead."""
+    def _wait(self, w: _Waiter, key=None, op: Optional[str] = None) -> Generator:
+        """Block the app thread on ``w``; charge delay + wake overhead.
+
+        Bounded by ``SimParams.op_deadline_ns`` when it is set and the
+        episode ``key`` is known: expiry abandons the episode and raises
+        :class:`CollectiveError` naming the missing participants (where
+        this node is the root and knows them) and any detector-suspected
+        peers — the engine never waits forever on a dead node."""
+        deadline = self.params.op_deadline_ns
+        timer = None
+        if deadline > 0 and key is not None:
+            timer = self.sim.schedule(deadline, lambda: self._expire(key))
         t0 = self.sim.now
         self.node.app_blocked = True
         try:
             value = yield w.event
         finally:
             self.node.app_blocked = False
+        if timer is not None and value is not _TIMEOUT:
+            timer.cancel()
         self.node.account_delay(self.sim.now - t0)
+        if value is _TIMEOUT:
+            self._m_timeouts.inc()
+            raise CollectiveError(self._timeout_message(key, op, deadline))
         wake_ns = self.node.nic.rx_wake_overhead_ns()
         yield wake_ns
         self.node.account_overhead(wake_ns)
         return value
 
-    def _await_release(self, key) -> Generator:
+    def _expire(self, key) -> None:
+        """Deadline fired for ``key``: abandon the episode and wake the
+        blocked thread with the timeout sentinel."""
+        w = self._waiters.pop(key, None)
+        if w is None:
+            return
+        self._abandoned.add(key)
+        w.event.trigger(_TIMEOUT)
+
+    def _timeout_message(self, key, op: Optional[str],
+                         deadline: float) -> str:
+        ep = self._episodes.get(key)
+        opname = op or (ep.op if ep is not None else "collective")
+        detail = ""
+        if ep is not None:
+            absent = sorted(set(range(self.nprocs)) - ep.arrived)
+            detail += f"; missing participants {absent}"
+        suspects = self.node.nic.detector.suspected_peers()
+        if suspects:
+            detail += f"; suspected dead: {suspects}"
+        return (f"node {self.me}: {opname} episode {key} timed out "
+                f"after {deadline:.0f} ns{detail}")
+
+    def _await_release(self, key, op: Optional[str] = None) -> Generator:
         """Wait for a release that may already have been delivered
         (broadcast/multicast destinations can block after the packet
         lands; the handler parks the value in ``_pending``)."""
         if key in self._pending:
             return self._pending.pop(key)
         w = self._register_wait(key)
-        value = yield from self._wait(w)
+        value = yield from self._wait(w, key, op)
         return value
+
+    def outstanding_waits(self) -> List[str]:
+        """Stuck-report probe: this engine's blocked threads and the
+        root-side episodes still gathering (see docs/reliability.md)."""
+        out = []
+        for coll_id, seq in sorted(self._waiters):
+            out.append(f"node{self.me}: collective wait "
+                       f"(coll {coll_id}, seq {seq})")
+        for (coll_id, seq), ep in sorted(self._episodes.items()):
+            absent = sorted(set(range(self.nprocs)) - ep.arrived)
+            out.append(f"node{self.me}: {ep.op} episode "
+                       f"(coll {coll_id}, seq {seq}) gathering, "
+                       f"waiting on {absent}")
+        return out
 
 
 class NicCollectiveEngine(CollectiveEngine):

@@ -22,6 +22,7 @@ from .adc import (
     TransmitDescriptor,
 )
 from .aih import HandlerError, HandlerRegistry
+from .detector import FailureDetector
 from .cni_nic import AIH_TARGET, CHANNEL_TARGET, CNIInterface, PIO_THRESHOLD_BYTES
 from .message_cache import MessageCache
 from .nic_base import HostHooks, NetworkInterface
@@ -38,6 +39,7 @@ __all__ = [
     "DeliveryFailed",
     "DeviceChannel",
     "DualPortedRing",
+    "FailureDetector",
     "HandlerError",
     "HandlerRegistry",
     "HostHooks",

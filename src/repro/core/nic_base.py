@@ -30,6 +30,7 @@ from ..network import CellTrain, Network, Packet, PacketKind, Reassembler, Segme
 from ..obs import MetricsScope, private_scope
 from ..params import SimParams
 from .adc import ReceiveDescriptor, TransmitDescriptor
+from .detector import FailureDetector
 from .reliability import ReliableTransport
 
 
@@ -82,6 +83,14 @@ class NetworkInterface:
         #: off; always constructed so its counters exist).
         self.reliab = ReliableTransport(sim, params, self,
                                         metrics=self.metrics.scope("reliab"))
+        #: NI-resident heartbeat failure detector (inert unless
+        #: ``heartbeat_interval_ns`` is set; always constructed so its
+        #: counters exist).
+        self.detector = FailureDetector(
+            sim, params, self, len(network.rx_queues),
+            metrics=self.metrics.scope("detector"))
+        #: Fail-stopped by a NodeCrash (see on_crash).
+        self.crashed = False
         self.metrics.counter("tx.packets_sent", fn=lambda: self.packets_sent)
         self.metrics.counter("rx.packets_received",
                              fn=lambda: self.packets_received)
@@ -100,6 +109,19 @@ class NetworkInterface:
     def set_protocol_sink(self, sink: ProtocolSink) -> None:
         """Attach the DSM engine's packet handler."""
         self.protocol_sink = sink
+
+    # -- crash-stop -----------------------------------------------------------
+    def on_crash(self) -> None:
+        """Fail-stop this board (a :class:`~repro.faults.NodeCrash` hit).
+
+        The reliable transport stops arming timers and cancels the
+        pending ones (a dead node retransmits nothing), and the failure
+        detector's tick is cancelled so the dead node falls silent and
+        the event queue can drain.  The fabric drops the board's in-flight
+        traffic separately (``ActiveFaultPlan.node_dead``)."""
+        self.crashed = True
+        self.reliab.fail_stop()
+        self.detector.stop()
 
     # -- host-side send API -----------------------------------------------------
     def host_send(self, desc: TransmitDescriptor) -> Generator:
@@ -166,8 +188,9 @@ class NetworkInterface:
         # reliable retransmission re-enters here with the same packet
         # object, so an unmodified buffer hits the Message Cache.
         staged_from_host = yield from self._stage_payload(packet)
-        if packet.kind is not PacketKind.ACK:
-            # NI-internal acks stay out of the paper's hit-ratio metric.
+        if packet.kind not in (PacketKind.ACK, PacketKind.HEARTBEAT):
+            # NI-internal acks and heartbeats stay out of the paper's
+            # hit-ratio metric.
             self._count_transmit(bool(staged_from_host))
         # Segmentation: per-cell work on the NI processor.
         if self.params.per_cell_transport and not self.params.unrestricted_cell_size:
@@ -184,7 +207,7 @@ class NetworkInterface:
 
     def _note_sent(self, packet: Packet) -> None:
         """Count a departure and hand it to the reliable transport."""
-        if packet.kind is not PacketKind.ACK:
+        if packet.kind not in (PacketKind.ACK, PacketKind.HEARTBEAT):
             self.packets_sent += 1
             self.counters.inc("nic_packets_sent")
         self.reliab.on_transmit(packet)
@@ -251,7 +274,16 @@ class NetworkInterface:
 
     def _accept_packet(self, packet: Packet) -> Generator:
         """Reliability layer between reassembly and dispatch: consume
-        acks, ack tracked packets, suppress duplicates, resequence."""
+        acks and heartbeats, ack tracked packets, suppress duplicates,
+        resequence."""
+        if packet.kind is PacketKind.HEARTBEAT:
+            # Liveness cells die on the board, like acks.
+            self.detector.on_heartbeat(packet.src_node)
+            return
+        if self.detector.enabled:
+            # Any arrival proves the sender alive; the guard keeps the
+            # detector-off hot path at one attribute test.
+            self.detector.note_alive(packet.src_node)
         if packet.kind is PacketKind.ACK:
             self.reliab.on_ack(packet)
             return

@@ -88,6 +88,13 @@ class ReliableTransport:
         self.params = params
         self.nic = nic
         self.enabled = params.reliable_transport
+        #: Fail-stopped: tracks() nothing, timers never re-arm.
+        self.dead = False
+        #: Optional last-chance hook consulted when the retry budget is
+        #: exhausted: ``sink(packet, attempts) -> bool``; True means the
+        #: caller took ownership of recovery and no DeliveryFailed is
+        #: raised (the messaging runtime's bounded eager-retry policy).
+        self._failure_sink = None
         m = metrics if metrics is not None else private_scope()
         self.retransmits = 0
         self.timeouts = 0
@@ -114,8 +121,24 @@ class ReliableTransport:
     # -- predicates -----------------------------------------------------------
     def tracks(self, packet: Packet) -> bool:
         """Whether this packet participates in the reliable protocol."""
-        return (self.enabled and packet.reliable
+        return (self.enabled and not self.dead and packet.reliable
                 and packet.kind is not PacketKind.ACK)
+
+    def set_failure_sink(self, sink) -> None:
+        """Attach the budget-exhaustion hook (see ``_failure_sink``)."""
+        self._failure_sink = sink
+
+    def fail_stop(self) -> None:
+        """Crash-stop this endpoint: cancel every armed timer and stop
+        tracking — a dead node neither retransmits nor raises
+        :class:`DeliveryFailed` for traffic it will never ack."""
+        self.dead = True
+        for entry in self._pending.values():
+            entry.acked = True
+            if entry.timer is not None:
+                entry.timer.cancel()
+                entry.timer = None
+        self._pending.clear()
 
     def outstanding(self) -> int:
         """Currently unacknowledged sends."""
@@ -150,11 +173,18 @@ class ReliableTransport:
                                         lambda: self._on_timeout(entry))
 
     def _on_timeout(self, entry: _PendingSend) -> None:
-        if entry.acked:
+        if entry.acked or self.dead:
             return
         self.timeouts += 1
         if entry.attempts >= self.params.reliab_max_attempts:
             self.delivery_failures += 1
+            if self._failure_sink is not None \
+                    and self._failure_sink(entry.packet, entry.attempts):
+                # The runtime took over recovery: reset the attempt
+                # budget for its re-enqueue (same packet, same rel_seq;
+                # on_transmit will find this entry and re-arm).
+                entry.attempts = 1
+                return
             raise DeliveryFailed(entry.packet, entry.attempts)
         entry.attempts += 1
         self.retransmits += 1

@@ -70,7 +70,7 @@ class EagerDsmEngine(DsmEngine):
         for p in peers:
             yield from self._app_send(p, MsgType.INVALIDATE, msg,
                                       msg.wire_bytes)
-        yield from self._wait(w)
+        yield from self._wait(w, ("inv", seq), "dsm invalidate round")
         return None
 
     # -- piggybacking disabled: everyone is already current ---------------

@@ -69,6 +69,11 @@ class _Waiter:
     outstanding: int = 1
 
 
+#: Sentinel a deadline timer delivers to an abandoned DSM wait (see
+#: :meth:`DsmEngine._expire`); never a legitimate protocol value.
+_TIMEOUT = object()
+
+
 class DsmEngine:
     """LRC protocol state and behaviour for one node."""
 
@@ -102,6 +107,10 @@ class DsmEngine:
         #: manager between gather and release (collective attachment).
         self._barrier_vcs: Dict[Tuple[int, int], List[int]] = {}
         self._waiters: Dict[Any, _Waiter] = {}
+        #: Waits abandoned by deadline expiry -> replies still expected;
+        #: late protocol wakes for these drain silently instead of
+        #: tripping the spurious-wake check.
+        self._abandoned: Dict[Any, int] = {}
         #: Served diff sizes: (page, seq) -> bytes, kept after release so
         #: concurrent writers' diff requests can be answered and priced.
         self.diff_store: Dict[Tuple[int, int], int] = {}
@@ -181,25 +190,81 @@ class DsmEngine:
     def _wake(self, key, value=None) -> None:
         w = self._waiters.get(key)
         if w is None:
+            left = self._abandoned.get(key)
+            if left is not None:
+                if left <= 1:
+                    del self._abandoned[key]
+                else:
+                    self._abandoned[key] = left - 1
+                return
             raise SimulationError(f"node {self.me}: spurious wake of {key}")
         w.outstanding -= 1
         if w.outstanding <= 0:
             del self._waiters[key]
             w.event.trigger(value)
 
-    def _wait(self, w: _Waiter) -> Generator:
-        """Block the app thread on ``w``; charge delay + wake overhead."""
+    def outstanding_waits(self) -> List[str]:
+        """Stuck-report probe: DSM operations this node is blocked on
+        (page fetches, lock grants — see docs/reliability.md)."""
+        out = []
+        for key in sorted(self._waiters, key=repr):
+            kind = key[0] if isinstance(key, tuple) and key else key
+            if kind == "page":
+                out.append(f"node{self.me}: DSM page wait (page {key[1]})")
+            elif kind == "lock":
+                out.append(f"node{self.me}: DSM lock wait (lock {key[1]})")
+            else:
+                out.append(f"node{self.me}: DSM wait {key!r}")
+        return out
+
+    def _wait(self, w: _Waiter, key=None,
+              op: Optional[str] = None) -> Generator:
+        """Block the app thread on ``w``; charge delay + wake overhead.
+
+        Bounded by ``SimParams.op_deadline_ns`` when it is set and the
+        wait ``key`` is known: expiry abandons the wait and raises
+        :class:`~repro.runtime.PeerDead` (detector already suspects a
+        peer) or :class:`~repro.runtime.RuntimeTimeout` — a page fetch
+        or lock acquire never hangs on a crashed node (see
+        docs/reliability.md)."""
+        deadline = self.params.op_deadline_ns
+        timer = None
+        if deadline > 0 and key is not None:
+            timer = self.sim.schedule(deadline, lambda: self._expire(key))
         t0 = self.sim.now
         self.node.app_blocked = True
         try:
             value = yield w.event
         finally:
             self.node.app_blocked = False
+        if timer is not None and value is not _TIMEOUT:
+            timer.cancel()
         self.node.account_delay(self.sim.now - t0)
+        if value is _TIMEOUT:
+            self.node.counters.inc("dsm_timeouts")
+            from ..runtime.errors import PeerDead, RuntimeTimeout
+
+            opname = op or (f"dsm {key[0]}" if isinstance(key, tuple)
+                            else "dsm wait")
+            suspects = self.node.nic.detector.suspected_peers()
+            if suspects:
+                raise PeerDead(opname, suspects[0], deadline)
+            raise RuntimeTimeout(opname, None, deadline)
         wake_ns = self.node.nic.rx_wake_overhead_ns()
         yield wake_ns
         self.node.account_overhead(wake_ns)
         return value
+
+    def _expire(self, key) -> None:
+        """Deadline fired for ``key``: abandon the wait and hand the
+        blocked thread the timeout sentinel; replies still in flight
+        drain through the ``_abandoned`` ledger."""
+        w = self._waiters.pop(key, None)
+        if w is None:
+            return
+        if w.outstanding > 0:
+            self._abandoned[key] = w.outstanding
+        w.event.trigger(_TIMEOUT)
 
     # ------------------------------------------------------- interval machinery --
     def _apply_intervals(self, intervals: List[Interval]) -> None:
@@ -317,7 +382,7 @@ class DsmEngine:
         msg = PageReq(page=page, requester=self.me)
         self.node.counters.inc("dsm_page_fetches")
         yield from self._app_send(target, MsgType.PAGE_REQ, msg, msg.wire_bytes)
-        yield from self._wait(w)
+        yield from self._wait(w, ("page", page), "dsm page fetch")
         return None
 
     def _fetch_diffs(self, page: int) -> Generator:
@@ -330,7 +395,7 @@ class DsmEngine:
         for writer, ivs in by_writer.items():
             msg = DiffReq(page=page, requester=self.me, intervals=ivs)
             yield from self._app_send(writer, MsgType.DIFF_REQ, msg, msg.wire_bytes)
-        yield from self._wait(w)
+        yield from self._wait(w, ("page", page), "dsm diff fetch")
         return None
 
     # ------------------------------------------------------------ app-side: locks --
@@ -375,7 +440,7 @@ class DsmEngine:
             msg = LockReq(lock_id=lock_id, requester=self.me,
                           vc=self.vc.as_list())
             yield from self._app_send(home, MsgType.LOCK_REQ, msg, msg.wire_bytes)
-        yield from self._wait(w)
+        yield from self._wait(w, ("lock", lock_id), "dsm lock acquire")
         return None
 
     def release(self, lock_id: int) -> Generator:

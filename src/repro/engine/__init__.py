@@ -13,7 +13,15 @@ Public surface:
 
 from .event_queue import EmptyQueueError, EventHandle, EventQueue
 from .resources import Gate, Mailbox, Resource
-from .simulator import Event, Interrupt, Process, SimulationError, Simulator
+from .simulator import (
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    StuckError,
+    StuckReport,
+)
 from .stats import Category, Counters, RunStats, TimeAccount
 from .trace import GLOBAL_TRACER, TraceRecord, Tracer
 
@@ -33,6 +41,8 @@ __all__ = [
     "RunStats",
     "SimulationError",
     "Simulator",
+    "StuckError",
+    "StuckReport",
     "TimeAccount",
     "TraceRecord",
     "Tracer",

@@ -155,6 +155,34 @@ class Gate:
         value = yield ev
         return value
 
+    def wait_upto(self, timeout_ns: float,
+                  timeout_value: Any = None) -> Generator:
+        """Coroutine: like :meth:`wait` but give up after ``timeout_ns``.
+
+        On timeout the waiter is withdrawn from the gate (a later
+        notification will not double-trigger it) and ``timeout_value``
+        is returned — callers distinguish a wakeup from an expiry by a
+        sentinel that a notify can never carry."""
+        ev = self.sim.event()
+        self._waiters.append(ev)
+        timed_out = []
+
+        def _expire():
+            if ev.triggered:
+                return
+            try:
+                self._waiters.remove(ev)
+            except ValueError:
+                return  # a same-instant notify already claimed the event
+            timed_out.append(True)
+            ev.trigger(timeout_value)
+
+        handle = self.sim.schedule(timeout_ns, _expire)
+        value = yield ev
+        if not timed_out:
+            handle.cancel()
+        return value
+
     def notify(self, value: Any = None) -> int:
         """Wake all current waiters; returns how many were woken."""
         self.notifications += 1

@@ -29,6 +29,42 @@ class SimulationError(RuntimeError):
     """An error raised by the simulation kernel."""
 
 
+class StuckReport:
+    """What was still waiting when the simulation stopped making progress.
+
+    Produced by :meth:`Simulator.stuck_report` from the registered
+    waiter probes (subsystems describe their own outstanding waits:
+    pending rendezvous handshakes, open collective episodes, DSM page
+    and lock waits).  A hang is a diagnosable failure, never silence.
+    """
+
+    def __init__(self, at_ns: float, waits: List[str]):
+        self.at_ns = at_ns
+        self.waits = list(waits)
+
+    def format(self) -> str:
+        if not self.waits:
+            return f"no outstanding waits at t={self.at_ns} ns"
+        lines = [f"outstanding waits at t={self.at_ns} ns:"]
+        lines.extend(f"  - {w}" for w in self.waits)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StuckReport {len(self.waits)} waits at {self.at_ns} ns>"
+
+
+class StuckError(SimulationError):
+    """The event queue drained (or the wall budget expired) with
+    processes still blocked.  Carries the :class:`StuckReport`; the
+    message keeps the historical ``application deadlock: ...`` prefix."""
+
+    def __init__(self, message: str, report: Optional[StuckReport] = None):
+        if report is not None and report.waits:
+            message = f"{message}\n{report.format()}"
+        super().__init__(message)
+        self.report = report
+
+
 class Interrupt(Exception):
     """Thrown into a process that is interrupted while waiting."""
 
@@ -81,8 +117,8 @@ class Event:
 class Process:
     """A simulated activity: a generator driven by the kernel."""
 
-    __slots__ = ("sim", "name", "_gen", "finished", "result", "_done_event",
-                 "_waiting_handle")
+    __slots__ = ("sim", "name", "_gen", "finished", "killed", "result",
+                 "_done_event", "_waiting_handle")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
         if not hasattr(gen, "send"):
@@ -91,6 +127,7 @@ class Process:
         self.name = name
         self._gen = gen
         self.finished = False
+        self.killed = False
         self.result: Any = None
         self._done_event = Event(sim)
         self._waiting_handle = None
@@ -108,6 +145,8 @@ class Process:
     # -- kernel interface ----------------------------------------------------
     def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
         """Advance the generator one hop and dispatch on what it yields."""
+        if self.finished:
+            return  # a stale wakeup racing a kill(); the process is gone
         self._waiting_handle = None
         try:
             if exc is not None:
@@ -150,12 +189,30 @@ class Process:
             self._waiting_handle = None
         self.sim.call_soon(lambda: self._step(exc=Interrupt(cause)))
 
+    def kill(self) -> None:
+        """Terminate the process immediately (crash-stop semantics).
+
+        The generator is closed (``finally`` blocks run, so resource
+        state like ``app_blocked`` unwinds), the done event fires with
+        ``None``, and any event wakeup still in flight is ignored.
+        Killing a finished process is a no-op.
+        """
+        if self.finished:
+            return
+        self.finished = True
+        self.killed = True
+        if self._waiting_handle is not None:
+            self._waiting_handle.cancel()
+            self._waiting_handle = None
+        self._gen.close()
+        self._done_event.trigger(None)
+
 
 class Simulator:
     """Owns the clock and the pending-event set."""
 
     __slots__ = ("_queue", "_now", "_running", "processes",
-                 "events_processed", "queue_len_hwm")
+                 "events_processed", "queue_len_hwm", "waiter_probes")
 
     def __init__(self) -> None:
         self._queue = EventQueue()
@@ -166,6 +223,9 @@ class Simulator:
         self.events_processed = 0
         #: High-water mark of the pending-event set, sampled at dispatch.
         self.queue_len_hwm = 0
+        #: Callables returning an iterable of outstanding-wait strings;
+        #: subsystems register one each (see stuck_report()).
+        self.waiter_probes: List[Callable[[], Any]] = []
 
     # -- time ---------------------------------------------------------------
     @property
@@ -202,10 +262,36 @@ class Simulator:
         self.call_soon(lambda: proc._step(None))
         return proc
 
+    # -- stuck diagnosis ------------------------------------------------------
+    def add_waiter_probe(self, probe: Callable[[], Any]) -> None:
+        """Register a probe describing a subsystem's outstanding waits.
+
+        ``probe()`` returns an iterable of strings, one per pending wait
+        (empty when quiescent).  Probes run only when a stuck report is
+        requested — never on the hot path."""
+        self.waiter_probes.append(probe)
+
+    def stuck_report(self) -> StuckReport:
+        """Snapshot every registered probe into a :class:`StuckReport`."""
+        waits: List[str] = []
+        for probe in self.waiter_probes:
+            waits.extend(str(w) for w in probe())
+        return StuckReport(self._now, waits)
+
     # -- main loop --------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            wall_budget_s: Optional[float] = None) -> float:
         """Execute events until the queue drains, ``until`` is reached, or
-        ``max_events`` have fired.  Returns the final simulated time."""
+        ``max_events`` have fired.  Returns the final simulated time.
+
+        ``wall_budget_s`` bounds *host* wall-clock time: the run stops
+        (leaving the queue non-empty) once the budget expires — the
+        quiescence watchdog's backstop against genuinely livelocked
+        simulations.  The budgeted path is a separate loop so the
+        default hot loop stays branch-free."""
+        if wall_budget_s is not None:
+            return self._run_budgeted(until, max_events, wall_budget_s)
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
@@ -235,6 +321,60 @@ class Simulator:
                     self._now = until
                     break
                 if max_events is not None and fired >= max_events:
+                    break
+                qlen = len(heap)
+                if qlen > hwm:
+                    hwm = qlen
+                heappop(heap)
+                handle = entry[3]
+                callback = handle.callback
+                handle.callback = None
+                assert t >= self._now, "time went backwards"
+                self._now = t
+                callback()
+                fired += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+            self.events_processed += fired
+            if hwm > self.queue_len_hwm:
+                self.queue_len_hwm = hwm
+        return self._now
+
+    def _run_budgeted(self, until: Optional[float],
+                      max_events: Optional[int],
+                      wall_budget_s: float) -> float:
+        """The wall-clock-bounded dispatch loop (see :meth:`run`).
+
+        Dispatch order and accounting are identical to the default loop;
+        the only addition is a ``perf_counter`` check every 1024 events.
+        """
+        import time as _time
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        deadline = _time.perf_counter() + wall_budget_s
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        hwm = self.queue_len_hwm
+        fired = 0
+        try:
+            while heap:
+                entry = heap[0]
+                if entry[3].cancelled:
+                    heappop(heap)
+                    if heap:
+                        continue
+                    break
+                t = entry[0]
+                if until is not None and t > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                if not (fired & 1023) and _time.perf_counter() > deadline:
                     break
                 qlen = len(heap)
                 if qlen > hwm:

@@ -15,6 +15,8 @@ from .plan import (
     FaultPlan,
     LinkDown,
     NicStall,
+    NodeCrash,
+    NodeSlow,
     parse_fault_plan,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "FaultPlan",
     "LinkDown",
     "NicStall",
+    "NodeCrash",
+    "NodeSlow",
     "parse_fault_plan",
 ]

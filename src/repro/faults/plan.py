@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 __all__ = [
@@ -34,6 +34,8 @@ __all__ = [
     "CellCorrupt",
     "LinkDown",
     "NicStall",
+    "NodeCrash",
+    "NodeSlow",
     "FaultPlan",
     "ActiveFaultPlan",
     "parse_fault_plan",
@@ -127,7 +129,46 @@ class NicStall:
         _check_window(self.from_ns, self.to_ns)
 
 
-Schedule = Union[CellLoss, CellCorrupt, LinkDown, NicStall]
+@dataclass(frozen=True)
+class NodeCrash:
+    """``node`` fail-stops at ``at_ns``: its NIC stops sourcing and
+    sinking cells (every cell to or from it dies at the fabric, its own
+    heartbeats included, so peers detect the silence) and the cluster
+    cancels its pending host work.  The crash-stop model — no byzantine
+    recovery, no rejoin."""
+
+    node: int
+    at_ns: float = 0.0
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValueError(f"node={self.node} is not a node index")
+        if self.at_ns < 0:
+            raise ValueError(f"at_ns={self.at_ns} must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeSlow:
+    """``node`` runs degraded during ``[from_ns, to_ns)``: traffic it
+    sources or sinks takes ``factor`` times the wire time — the model of
+    a thermally throttled or paging peer that is alive but late (the
+    failure-detector false-positive generator)."""
+
+    node: int
+    factor: float = 2.0
+    from_ns: float = 0.0
+    to_ns: float = float("inf")
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValueError(f"node={self.node} is not a node index")
+        if self.factor < 1.0:
+            raise ValueError(f"factor={self.factor} must be >= 1")
+        _check_window(self.from_ns, self.to_ns)
+
+
+Schedule = Union[CellLoss, CellCorrupt, LinkDown, NicStall,
+                 NodeCrash, NodeSlow]
 
 
 @dataclass(frozen=True)
@@ -149,7 +190,8 @@ class FaultPlan:
     def validate(self) -> None:
         """Raise :class:`ValueError` on a malformed plan."""
         for s in self.schedules:
-            if not isinstance(s, (CellLoss, CellCorrupt, LinkDown, NicStall)):
+            if not isinstance(s, (CellLoss, CellCorrupt, LinkDown, NicStall,
+                                  NodeCrash, NodeSlow)):
                 raise ValueError(f"not a fault schedule: {s!r}")
 
     def activate(self, num_nodes: int) -> "ActiveFaultPlan":
@@ -157,9 +199,13 @@ class FaultPlan:
         return ActiveFaultPlan(self.schedules, self.seed, num_nodes)
 
     def describe(self) -> str:
-        """One-line human-readable form (harness banners, logs)."""
-        parts = [f"seed={self.seed}"] + [repr(s) for s in self.schedules]
-        return "; ".join(parts)
+        """One-line form in the ``--fault-plan`` grammar.
+
+        Round-trips: ``parse_fault_plan(plan.describe()) == plan`` for
+        every schedule kind (tests/faults/test_plan.py asserts it)."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(_describe_schedule(s) for s in self.schedules)
+        return ";".join(parts)
 
 
 class ActiveFaultPlan:
@@ -179,6 +225,13 @@ class ActiveFaultPlan:
         self.cells_corrupted: List[int] = [0] * num_nodes
         #: per-schedule running cell position, for ``nth`` triggers
         self._positions: Dict[int, int] = {}
+        #: node -> earliest NodeCrash time (crash-stop: no rejoin)
+        self._crash_at: Dict[int, float] = {}
+        for s in schedules:
+            if isinstance(s, NodeCrash):
+                at = self._crash_at.get(s.node)
+                if at is None or s.at_ns < at:
+                    self._crash_at[s.node] = s.at_ns
         # Legacy injector shims (Network.loss_injector and friends).
         self._legacy_train: Optional[Callable] = None
         self._legacy_cell: Optional[Callable] = None
@@ -223,6 +276,25 @@ class ActiveFaultPlan:
         return hits
 
     # -- evaluation -----------------------------------------------------------
+    def crash_times(self) -> Dict[int, float]:
+        """``{node: earliest crash time}`` for every scheduled crash."""
+        return dict(self._crash_at)
+
+    def node_dead(self, node: int, now: float) -> bool:
+        """True once ``node`` has fail-stopped (its crash time passed)."""
+        at = self._crash_at.get(node)
+        return at is not None and now >= at
+
+    def slow_factor(self, node: int, now: float) -> float:
+        """Wire-time multiplier for traffic touching ``node`` now
+        (1.0 when no :class:`NodeSlow` window is active)."""
+        factor = 1.0
+        for s in self.schedules:
+            if isinstance(s, NodeSlow) and s.node == node \
+                    and s.from_ns <= now < s.to_ns:
+                factor = max(factor, s.factor)
+        return factor
+
     def stall_ns(self, node: int, now: float) -> float:
         """Extra delivery delay for traffic arriving at ``node`` now."""
         extra = 0.0
@@ -240,6 +312,9 @@ class ActiveFaultPlan:
         """
         p = train.packet
         n = train.n_cells
+        if self.node_dead(p.src_node, now) or self.node_dead(p.dst_node, now):
+            self.cells_dropped[p.dst_node] += n
+            return n, 0
         lost = 0
         corrupted = 0
         for idx, s in enumerate(self.schedules):
@@ -274,6 +349,10 @@ class ActiveFaultPlan:
     def cell_fate(self, cell, packet, now: float) -> str:
         """Fate of one cell in per-cell transport: ``"ok"``, ``"drop"``
         or ``"corrupt"``."""
+        if self.node_dead(packet.src_node, now) \
+                or self.node_dead(packet.dst_node, now):
+            self.cells_dropped[packet.dst_node] += 1
+            return "drop"
         fate = "ok"
         for idx, s in enumerate(self.schedules):
             if isinstance(s, LinkDown):
@@ -310,9 +389,24 @@ _SCHEDULE_TYPES = {
     "cell_corrupt": CellCorrupt,
     "link_down": LinkDown,
     "nic_stall": NicStall,
+    "node_crash": NodeCrash,
+    "node_slow": NodeSlow,
 }
 
+_GRAMMAR_NAMES = {cls: name for name, cls in _SCHEDULE_TYPES.items()}
+
 _INT_KEYS = {"nth", "src", "dst", "node", "seed"}
+
+
+def _describe_schedule(s: Schedule) -> str:
+    """One schedule in the grammar; inverse of ``parse_fault_plan``."""
+    pairs = []
+    for f in fields(s):
+        value = getattr(s, f.name)
+        if value is None:
+            continue
+        pairs.append(f"{f.name}={value!r}")
+    return f"{_GRAMMAR_NAMES[type(s)]}({','.join(pairs)})"
 
 
 def _parse_value(key: str, text: str) -> Union[int, float]:

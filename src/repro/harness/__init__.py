@@ -7,6 +7,7 @@
 from .experiments import (
     bandwidth_microbenchmark,
     collective_latency_experiment,
+    failures_experiment,
     fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
@@ -19,6 +20,7 @@ from .experiments import (
 )
 from .export import GLOBAL_METRICS_LOG, MetricsLog, to_csv, to_json, write_result
 from .parallel import (
+    RunFailure,
     RunSpec,
     default_jobs,
     execute_run,
@@ -38,6 +40,7 @@ __all__ = [
     "MetricsLog",
     "PAPER",
     "QUICK",
+    "RunFailure",
     "RunSpec",
     "Scale",
     "SeriesResult",
@@ -48,6 +51,7 @@ __all__ = [
     "collective_latency_experiment",
     "default_jobs",
     "execute_run",
+    "failures_experiment",
     "fault_sweep_experiment",
     "format_series",
     "format_table",

@@ -355,6 +355,73 @@ def fault_sweep_experiment(
     return result
 
 
+def failures_experiment(
+    nprocs: int = 4,
+    seed: int = 97,
+    base_params: Optional[SimParams] = None,
+    name: str = "",
+    jobs: Optional[int] = None,
+) -> TableResult:
+    """Crash-stop fault tolerance demonstration (docs/reliability.md):
+    representative workloads under crash / link-outage / cell-loss
+    plans, with deadlines and the heartbeat detector armed.  Every run
+    must terminate — success or a *typed* error — and the table reports
+    which; a hang would surface as a ``StuckError`` aborting the
+    experiment.  ``tools/chaos_campaign.py`` is the exhaustive sweep
+    over every registered workload; this is the harness-sized sample.
+    """
+    from ..apps import JacobiConfig
+    from ..collectives import CollBenchConfig
+    from ..faults import LinkDown, NodeCrash
+    from .parallel import RunFailure
+
+    base = base_params or SimParams()
+    base = base.replace(
+        num_processors=nprocs,
+        reliable_transport=True,
+        op_deadline_ns=50_000_000.0,
+        heartbeat_interval_ns=500_000.0,
+        heartbeat_miss_budget=4,
+        runtime_send_retries=1,
+    )
+    plans = [
+        ("clean", None),
+        ("crash", FaultPlan(seed=seed, schedules=(
+            NodeCrash(node=nprocs - 1, at_ns=200_000.0),))),
+        ("linkdown", FaultPlan(seed=seed, schedules=(
+            LinkDown(src=0, dst=1, from_ns=0.0, to_ns=400_000.0),))),
+        ("loss", FaultPlan(seed=seed, schedules=(
+            CellLoss(rate=0.005),))),
+    ]
+    workloads = [
+        ("jacobi", JacobiConfig(n=32, iterations=2)),
+        ("collbench", CollBenchConfig(op="allreduce", rounds=4,
+                                      compute_cycles=500)),
+    ]
+    result = TableResult(
+        name=name or "failures",
+        columns=["ok", "typed_error", "elapsed_ms"],
+    )
+    specs = []
+    labels = []
+    for app, workload in workloads:
+        for plan_name, plan in plans:
+            specs.append(RunSpec(app, base.replace(fault_plan=plan),
+                                 "cni", workload))
+            labels.append(f"{app}/{plan_name}")
+    runs = run_map(specs, jobs=jobs, record=False, on_error="record")
+    errors = []
+    for label, outcome in zip(labels, runs):
+        if isinstance(outcome, RunFailure):
+            result.add_row(label, [0.0, 1.0, 0.0])
+            errors.append(f"{label}: {outcome.error_type}")
+        else:
+            result.add_row(label, [1.0, 0.0, outcome.elapsed_ns / 1e6])
+    result.notes = ("every run terminated (no hangs); typed errors: "
+                    + ("; ".join(errors) if errors else "none"))
+    return result
+
+
 def _coll_mean_op_us(metrics: Dict[str, object], op: str) -> float:
     """Mean app-observed latency of one collective op, in microseconds,
     from the per-node ``node<i>.coll.<op>_ns`` histograms (summing count

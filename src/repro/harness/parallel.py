@@ -28,6 +28,7 @@ See docs/parallel_runs.md for the design and the `--jobs` CLI usage.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
 from concurrent.futures import ProcessPoolExecutor
@@ -41,6 +42,7 @@ from ..obs import MetricsRegistry, registry_from_snapshot
 from ..params import SimParams
 
 __all__ = [
+    "RunFailure",
     "RunSpec",
     "default_jobs",
     "execute_run",
@@ -118,6 +120,50 @@ class RunSpec:
                 f"/p{self.params.num_processors}")
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one run that died with a *typed* simulation
+    error (``run_map(on_error="record")``; see docs/reliability.md).
+
+    Picklable by construction — it crosses the process-pool boundary in
+    place of the :class:`~repro.engine.RunStats` a healthy run returns —
+    so a worker raising :class:`~repro.runtime.RuntimeTimeout` under a
+    fault plan becomes one failed *point* of the sweep instead of a bare
+    pool exception aborting the whole sweep.
+    """
+
+    spec_desc: str
+    """``RunSpec.describe()`` of the failed run."""
+
+    error_type: str
+    """Exception class name (``RuntimeTimeout``, ``PeerDead``, ...)."""
+
+    message: str
+    """``str(exc)`` — deterministic, since the simulation is."""
+
+    def digest(self) -> str:
+        """Deterministic fingerprint (mirrors ``RunStats.digest`` so
+        jobs=1 and jobs=N sweeps compare point-for-point)."""
+        h = hashlib.sha256()
+        for part in (self.spec_desc, self.error_type, self.message):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+
+def _typed_errors() -> tuple:
+    """Exception types ``on_error="record"`` converts to RunFailure —
+    every *typed* simulation outcome; anything else (a genuine harness
+    bug) still propagates.  Imported lazily to keep this module light."""
+    from ..collectives import CollectiveError
+    from ..core.reliability import DeliveryFailed
+    from ..engine import SimulationError
+    from ..runtime.errors import MessagingError
+
+    return (SimulationError, DeliveryFailed, CollectiveError,
+            MessagingError)
+
+
 def _seed_global_rngs(spec: RunSpec, index: int) -> None:
     """Give the executing process its own deterministic RNG state.
 
@@ -132,28 +178,39 @@ def _seed_global_rngs(spec: RunSpec, index: int) -> None:
     np.random.seed(seed % (2 ** 32))
 
 
-def execute_run(spec: RunSpec, index: int = 0) -> RunStats:
+def execute_run(spec: RunSpec, index: int = 0,
+                on_error: str = "raise") -> Any:
     """Execute one spec in the current process and return its stats.
 
     This is both the pool-worker body and the ``--jobs 1`` in-process
     path, so the two are one code path by construction.  Dispatch goes
     through the workload registry (:func:`repro.apps.run`), so any
     registered workload is executable by spec with no executor edits.
+
+    ``on_error="record"`` converts a *typed* simulation error (timeout,
+    dead peer, delivery failure, stuck report — the expected outcomes
+    under a fault plan) into a :class:`RunFailure` instead of raising.
     """
     from ..apps import run as run_workload
 
     _seed_global_rngs(spec, index)
+    if on_error == "record":
+        try:
+            return run_workload(spec.app, spec.params, spec.interface,
+                                spec.workload)[0]
+        except _typed_errors() as exc:
+            return RunFailure(spec.describe(), type(exc).__name__, str(exc))
     return run_workload(spec.app, spec.params, spec.interface,
                         spec.workload)[0]
 
 
-def _worker(job: Tuple[int, RunSpec]) -> Tuple[int, RunStats]:
-    index, spec = job
-    return index, execute_run(spec, index)
+def _worker(job: Tuple[int, RunSpec, str]) -> Tuple[int, Any]:
+    index, spec, on_error = job
+    return index, execute_run(spec, index, on_error=on_error)
 
 
 def run_map(specs: Sequence[RunSpec], jobs: Optional[int] = None,
-            record: bool = True) -> List[RunStats]:
+            record: bool = True, on_error: str = "raise") -> List[Any]:
     """Run every spec; return their :class:`RunStats` in spec order.
 
     ``jobs`` is the worker-process count (None → :func:`default_jobs`;
@@ -161,8 +218,15 @@ def run_map(specs: Sequence[RunSpec], jobs: Optional[int] = None,
     recorded into :data:`~repro.harness.export.GLOBAL_METRICS_LOG` — in
     the parent, in spec order, with the run's ``digest`` attached — so
     ``--metrics`` exports are byte-identical at any jobs setting.
+
+    ``on_error="record"`` returns a :class:`RunFailure` in the failed
+    run's slot (typed errors only) instead of letting one dying worker
+    abort the whole sweep; failures are skipped by the metrics-log
+    recording since they produced no metrics.
     """
     specs = list(specs)
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error={on_error!r} must be 'raise' or 'record'")
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
@@ -172,16 +236,19 @@ def run_map(specs: Sequence[RunSpec], jobs: Optional[int] = None,
 
     workers = min(jobs, len(specs))
     if workers <= 1:
-        results = [execute_run(spec, i) for i, spec in enumerate(specs)]
+        results = [execute_run(spec, i, on_error=on_error)
+                   for i, spec in enumerate(specs)]
     else:
+        jobs_iter = ((i, spec, on_error) for i, spec in enumerate(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = [stats for _i, stats in
-                       pool.map(_worker, enumerate(specs))]
+            results = [stats for _i, stats in pool.map(_worker, jobs_iter)]
 
     if record:
         from .export import GLOBAL_METRICS_LOG
 
         for spec, stats in zip(specs, results):
+            if isinstance(stats, RunFailure):
+                continue
             GLOBAL_METRICS_LOG.record(
                 spec.app, spec.interface, spec.params.num_processors,
                 stats.metrics, digest=stats.digest(), **dict(spec.meta))

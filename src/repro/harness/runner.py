@@ -51,6 +51,7 @@ from ..apps import (
 from ..params import SimParams
 from .experiments import (
     collective_latency_experiment,
+    failures_experiment,
     fault_sweep_experiment,
     latency_microbenchmark,
     message_cache_size_experiment,
@@ -322,6 +323,14 @@ def exp_messaging(scale: Scale, base: Optional[SimParams] = None) -> Result:
                                 name="messaging-latency")
 
 
+def exp_failures(scale: Scale, base: Optional[SimParams] = None) -> Result:
+    """Crash-stop fault-tolerance extension: representative workloads
+    under crash / link-outage / loss plans, every run terminating with
+    success or a typed error (docs/reliability.md)."""
+    return failures_experiment(nprocs=min(scale.nprocs_fixed, 4),
+                               base_params=base, name="failures")
+
+
 EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "table1": exp_table1,
     "fig2": exp_fig2,
@@ -344,6 +353,7 @@ EXPERIMENTS: Dict[str, Callable[..., Result]] = {
     "faults": exp_faults,
     "collectives": exp_collectives,
     "messaging": exp_messaging,
+    "failures": exp_failures,
 }
 
 
@@ -382,6 +392,8 @@ def main(argv: List[str] = None) -> int:
     fault_spec = _take_option(argv, "--fault-plan")
     coll_arg = _take_option(argv, "--collectives")
     jobs_arg = _take_option(argv, "--jobs")
+    deadline_arg = _take_option(argv, "--deadline-ns")
+    heartbeat_arg = _take_option(argv, "--heartbeat-ns")
     results_dir = _take_option(argv, "--results") or "results"
     from .parallel import set_default_jobs
 
@@ -411,6 +423,24 @@ def main(argv: List[str] = None) -> int:
         base_params = (base_params or SimParams()).replace(
             collectives=coll_arg)
         print(f"collectives engine forced: {coll_arg}")
+    if deadline_arg:
+        try:
+            deadline_ns = float(deadline_arg)
+        except ValueError:
+            print(f"--deadline-ns: {deadline_arg!r} is not a number")
+            return 1
+        base_params = (base_params or SimParams()).replace(
+            op_deadline_ns=deadline_ns)
+        print(f"operation deadline: {deadline_ns:.0f} ns")
+    if heartbeat_arg:
+        try:
+            heartbeat_ns = float(heartbeat_arg)
+        except ValueError:
+            print(f"--heartbeat-ns: {heartbeat_arg!r} is not a number")
+            return 1
+        base_params = (base_params or SimParams()).replace(
+            heartbeat_interval_ns=heartbeat_ns)
+        print(f"heartbeat interval: {heartbeat_ns:.0f} ns")
     scale = PAPER if (full or os.environ.get("REPRO_FULL") == "1") else QUICK
     if not argv:
         print(__doc__)

@@ -55,6 +55,11 @@ class PacketKind(enum.IntEnum):
     PATHFINDER classifies these into the messaging engine's AIH
     handlers, so the library's responder runs on the NI processor."""
 
+    HEARTBEAT = 8
+    """Failure-detector liveness cell, generated and consumed by the NI
+    processors themselves (zero payload, unreliable, never dispatched to
+    the host; see docs/reliability.md)."""
+
 
 FLAG_CACHEABLE = 0x01
 """Header flag: this buffer should be entered into the Message Cache

@@ -124,6 +124,13 @@ class Network:
             stall = faults.stall_ns(p.dst_node, self.sim.now)
             if stall > 0:
                 yield stall
+            slow = max(faults.slow_factor(p.src_node, self.sim.now),
+                       faults.slow_factor(p.dst_node, self.sim.now))
+            if slow > 1.0:
+                # A degraded endpoint (NodeSlow) stretches the transfer
+                # by the slowdown of its NI processors.
+                yield (slow - 1.0) * self.params.train_wire_time_ns(
+                    p.wire_bytes)
             lost, corrupted = faults.train_faults(train, self.sim.now)
             if lost or corrupted:
                 train = CellTrain(train.packet, train.n_cells,
@@ -159,6 +166,11 @@ class Network:
             stall = faults.stall_ns(packet.dst_node, self.sim.now)
             if stall > 0:
                 yield stall
+            slow = max(faults.slow_factor(packet.src_node, self.sim.now),
+                       faults.slow_factor(packet.dst_node, self.sim.now))
+            if slow > 1.0:
+                yield (slow - 1.0) * self.params.train_wire_time_ns(
+                    packet.wire_bytes)
         rx = self.rx_queues[packet.dst_node]
         for cell in cells:
             if faults is not None:

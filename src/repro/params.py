@@ -216,6 +216,32 @@ class SimParams:
     ack the transport raises :class:`~repro.core.DeliveryFailed` instead
     of hanging the run."""
 
+    runtime_send_retries: int = 0
+    """Eager-send retry rounds in the messaging runtime after the
+    reliable transport exhausts its own budget: on ``DeliveryFailed``
+    for an eager DATA packet the runtime re-enqueues it up to this many
+    times with bounded backoff before letting the failure surface
+    (docs/reliability.md).  0 (default) disables the interception."""
+
+    op_deadline_ns: float = 0.0
+    """Default deadline for blocking messaging-runtime operations
+    (``send_rendezvous``/``remote_read``/``remote_write``/``recv``) and
+    collective episodes.  On expiry the operation raises a typed
+    :class:`~repro.runtime.RuntimeTimeout` / :class:`~repro.runtime.PeerDead`
+    / :class:`~repro.collectives.CollectiveError` instead of hanging.
+    0 (default) means no deadline — the seed behaviour."""
+
+    heartbeat_interval_ns: float = 0.0
+    """Period of the NIC-resident failure detector's liveness cells.  0
+    (default) disables the detector entirely — no heartbeat traffic, no
+    timers, bit-identical digests to the pre-detector model.  See
+    docs/reliability.md."""
+
+    heartbeat_miss_budget: int = 3
+    """Missed-heartbeat budget: a peer silent for more than
+    ``heartbeat_interval_ns * heartbeat_miss_budget`` becomes
+    *suspected* (crash-stop suspicion; any later packet clears it)."""
+
     rendezvous_threshold: int = 4096
     """Eager/rendezvous crossover of the messaging runtime
     (docs/runtime.md): sends of at most this many bytes copy through the
@@ -397,6 +423,15 @@ class SimParams:
             raise ValueError("reliab_backoff must be >= 1 (timeouts never shrink)")
         if self.reliab_max_attempts < 1:
             raise ValueError("reliab_max_attempts must allow at least one send")
+        if self.runtime_send_retries < 0:
+            raise ValueError("runtime_send_retries must be >= 0")
+        if self.op_deadline_ns < 0:
+            raise ValueError("op_deadline_ns must be >= 0 (0 = no deadline)")
+        if self.heartbeat_interval_ns < 0:
+            raise ValueError(
+                "heartbeat_interval_ns must be >= 0 (0 = detector off)")
+        if self.heartbeat_miss_budget < 1:
+            raise ValueError("heartbeat_miss_budget must be >= 1")
         if self.collectives not in (None, "nic", "host"):
             raise ValueError(
                 f"collectives={self.collectives!r} must be None, 'nic' "

@@ -17,6 +17,7 @@ Typical use::
 
 from .cluster import AppKernel, Cluster
 from .context import Context
+from .errors import MessagingError, PeerDead, RuntimeTimeout
 from .messaging import MessagingService
 from .node import DSM_HANDLER_CODE_BYTES, Node
 from .protocol import RT_HANDLER_CODE_BYTES, MessagingEngine, RtMsgType
@@ -27,8 +28,11 @@ __all__ = [
     "Context",
     "DSM_HANDLER_CODE_BYTES",
     "MessagingEngine",
+    "MessagingError",
     "MessagingService",
     "Node",
+    "PeerDead",
     "RT_HANDLER_CODE_BYTES",
     "RtMsgType",
+    "RuntimeTimeout",
 ]

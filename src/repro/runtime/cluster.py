@@ -19,7 +19,14 @@ from ..collectives import (
 )
 from ..dsm import DsmEngine, HomePolicy, MsgType, SharedSegment
 from ..dsm.eager import EagerDsmEngine
-from ..engine import Counters, RunStats, SimulationError, Simulator, Tracer
+from ..engine import (
+    Counters,
+    RunStats,
+    SimulationError,
+    Simulator,
+    StuckError,
+    Tracer,
+)
 from ..memory import AddressSpace
 from ..network import Network
 from ..obs import MetricsRegistry, SpanTracer
@@ -118,6 +125,14 @@ class Cluster:
             # ``runtime.*`` metric catalog is run-independent.
             node.rt = MessagingEngine(node, params.num_processors)
             node.nic.set_protocol_sink(node.dispatch_protocol_packet)
+            # Crash-stop plumbing (docs/reliability.md): the runtime's
+            # bounded eager-retry policy backs the reliable transport's
+            # budget exhaustion, and every engine's blocked waits feed
+            # the quiescence watchdog's stuck report.
+            node.nic.reliab.set_failure_sink(node.rt.on_delivery_failed)
+            self.sim.add_waiter_probe(node.rt.outstanding_waits)
+            self.sim.add_waiter_probe(node.coll.outstanding_waits)
+            self.sim.add_waiter_probe(node.engine.outstanding_waits)
         self._setup_connections()
         self._ran = False
 
@@ -192,8 +207,15 @@ class Cluster:
             node.map_dsm_pages(npages)
 
     # ------------------------------------------------------------------- run --
-    def run(self, kernel: AppKernel, max_events: Optional[int] = None) -> RunStats:
-        """Run ``kernel`` SPMD on every node; return the run's metrics."""
+    def run(self, kernel: AppKernel, max_events: Optional[int] = None,
+            wall_budget_s: Optional[float] = None) -> RunStats:
+        """Run ``kernel`` SPMD on every node; return the run's metrics.
+
+        ``wall_budget_s`` bounds the *wall-clock* time the event loop may
+        spend (a backstop against livelock under fault plans); when the
+        budget expires — or the queue drains — with application threads
+        still blocked, the quiescence watchdog raises :class:`StuckError`
+        naming every outstanding wait (docs/reliability.md)."""
         if self._ran:
             raise SimulationError("a Cluster instance runs one experiment")
         self._ran = True
@@ -204,14 +226,17 @@ class Cluster:
         for node in self.nodes:
             ctx = Context(node, node.node_id, self.params.num_processors)
             procs.append(self.sim.spawn(kernel(ctx), f"app{node.node_id}"))
-        self.sim.run(max_events=max_events)
+        self._schedule_crashes(procs)
+        self._start_detectors(procs)
+        self.sim.run(max_events=max_events, wall_budget_s=wall_budget_s)
         self.spans.end(run_span)
 
         unfinished = [p.name for p in procs if not p.finished]
         if unfinished:
-            raise SimulationError(
+            raise StuckError(
                 f"application deadlock: {unfinished} never finished "
-                f"(t={self.sim.now} ns)"
+                f"(t={self.sim.now} ns)",
+                self.sim.stuck_report(),
             )
 
         stats = RunStats()
@@ -221,6 +246,43 @@ class Cluster:
         stats.metrics = self.metrics.snapshot()
         stats.metric_kinds = self.metrics.kinds()
         return stats
+
+    def _schedule_crashes(self, procs) -> None:
+        """Arm the fault plan's ``NodeCrash`` schedules: at ``at_ns`` the
+        node's NIC fail-stops (transport timers cancelled, detector
+        silenced, cells neither sourced nor sunk) and its application
+        thread is killed — crash-stop semantics, no goodbye message."""
+        faults = self.network.active_faults
+        if faults is None:
+            return
+        for node_id, at_ns in sorted(faults.crash_times().items()):
+            if not 0 <= node_id < len(self.nodes):
+                continue
+            self.sim.schedule(
+                max(at_ns - self.sim.now, 0.0),
+                lambda node_id=node_id: self._crash_node(node_id, procs))
+
+    def _crash_node(self, node_id: int, procs) -> None:
+        self.nodes[node_id].nic.on_crash()
+        procs[node_id].kill()
+
+    def _start_detectors(self, procs) -> None:
+        """Arm every node's heartbeat detector, plus a watcher that
+        stops them once all application threads are done (finished or
+        killed) so the event queue can drain to quiescence."""
+        if self.params.heartbeat_interval_ns <= 0:
+            return
+        for node in self.nodes:
+            node.nic.detector.start()
+
+        def _watch():
+            for p in procs:
+                if not p.finished:
+                    yield p
+            for node in self.nodes:
+                node.nic.detector.stop()
+
+        self.sim.spawn(_watch(), "detector-watch")
 
     # -------------------------------------------------------------- reporting --
     def message_cache_hit_ratio(self) -> float:

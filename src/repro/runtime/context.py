@@ -217,7 +217,21 @@ class Context:
         self.node.account_delay(self.sim.now - t1)
         return None
 
-    def recv(self) -> Generator:
-        """Wait for the next inbound DATA message; returns its descriptor."""
-        desc = yield from self.node.wait_for_message()
+    def recv(self, deadline_ns: Optional[float] = None) -> Generator:
+        """Wait for the next inbound DATA message; returns its descriptor.
+
+        ``deadline_ns`` bounds the wait (None takes
+        ``SimParams.op_deadline_ns``; 0 waits forever); expiry raises
+        :class:`~repro.runtime.RuntimeTimeout`."""
+        desc = yield from self.node.wait_for_message(deadline_ns=deadline_ns)
         return desc
+
+    # ------------------------------------------------------- failure detection --
+    def suspected_peers(self) -> List[int]:
+        """Ranks the local NIC's heartbeat failure detector currently
+        suspects crashed (empty when heartbeats are off)."""
+        return self.node.nic.detector.suspected_peers()
+
+    def peer_suspected(self, rank: int) -> bool:
+        """Whether the local failure detector suspects ``rank`` crashed."""
+        return self.node.nic.detector.is_suspected(rank)

@@ -82,16 +82,20 @@ class MessagingService:
 
     # ------------------------------------------------------------- sending --
     def send(self, dst: int, nbytes: int, payload=None,
-             cacheable: bool = True) -> Generator:
+             cacheable: bool = True,
+             deadline_ns: Optional[float] = None) -> Generator:
         """Send ``nbytes`` to ``dst``, picking the protocol by size:
         eager at or below ``SimParams.rendezvous_threshold``, rendezvous
-        above it (docs/runtime.md)."""
+        above it (docs/runtime.md).  ``deadline_ns`` bounds a rendezvous
+        handshake (see :meth:`send_rendezvous`); the eager path has no
+        remote wait to bound."""
         if nbytes <= self.ctx.params.rendezvous_threshold:
             yield from self.send_eager(dst, nbytes, payload=payload,
                                        cacheable=cacheable)
         else:
             yield from self.send_rendezvous(dst, nbytes, payload=payload,
-                                            cacheable=cacheable)
+                                            cacheable=cacheable,
+                                            deadline_ns=deadline_ns)
         return None
 
     def send_eager(self, dst: int, nbytes: int, payload=None,
@@ -118,10 +122,16 @@ class MessagingService:
         return None
 
     def send_rendezvous(self, dst: int, nbytes: int, payload=None,
-                        cacheable: bool = True) -> Generator:
+                        cacheable: bool = True,
+                        deadline_ns: Optional[float] = None) -> Generator:
         """Rendezvous send: RTS, block for the (early) CTS, then stream
         page-sized chunks from the rendezvous source region into the
-        receiver's landing buffer.  Not bounded by ``buffer_bytes``."""
+        receiver's landing buffer.  Not bounded by ``buffer_bytes``.
+
+        The CTS wait is bounded by ``deadline_ns`` (None takes
+        ``SimParams.op_deadline_ns``; 0 waits forever) and raises
+        :class:`~repro.runtime.RuntimeTimeout` /
+        :class:`~repro.runtime.PeerDead` on expiry."""
         rt = self.rt
         op_id = rt.new_op_id()
         src = yield from self._ensure_rdv_src(nbytes)
@@ -132,7 +142,8 @@ class MessagingService:
             dst, None, MSG_BASE_BYTES,
             payload=RtsMsg(op_id, self.ctx.rank, nbytes),
             kind=PacketKind.RUNTIME, handler_key=int(RtMsgType.RTS))
-        yield from rt.wait("cts", op_id, w)
+        yield from rt.wait("cts", op_id, w, deadline_ns=deadline_ns,
+                           peer=dst)
         page = self.ctx.params.page_size_bytes
         off = 0
         while True:
@@ -180,13 +191,15 @@ class MessagingService:
         self.rt.register_window(vaddr, nbytes)
         return vaddr
 
-    def remote_read(self, dst: int, raddr: int, nbytes: int) -> Generator:
+    def remote_read(self, dst: int, raddr: int, nbytes: int,
+                    deadline_ns: Optional[float] = None) -> Generator:
         """One-sided read of ``[raddr, raddr+nbytes)`` from ``dst``'s
         registered window.  The reply transmits straight from the
         target's memory with the cacheable bit set: repeated reads of an
         unmodified window are Message-Cache transmit hits on a CNI
         (the remote-cache effect), and the target application never
-        participates."""
+        participates.  The reply wait is bounded by ``deadline_ns``
+        (None takes ``SimParams.op_deadline_ns``)."""
         rt = self.rt
         op_id = rt.new_op_id()
         t0 = self.ctx.sim.now
@@ -196,17 +209,20 @@ class MessagingService:
             payload=ReadReq(op_id, self.ctx.rank, raddr, nbytes),
             kind=PacketKind.RUNTIME,
             handler_key=int(RtMsgType.RDMA_READ_REQ))
-        got = yield from rt.wait("read", op_id, w)
+        got = yield from rt.wait("read", op_id, w, deadline_ns=deadline_ns,
+                                 peer=dst)
         rt._m_reads.inc()
         rt._m_rdma_bytes.inc(nbytes)
         rt._m_read_ns.observe(self.ctx.sim.now - t0)
         return got
 
-    def remote_write(self, dst: int, raddr: int, nbytes: int) -> Generator:
+    def remote_write(self, dst: int, raddr: int, nbytes: int,
+                     deadline_ns: Optional[float] = None) -> Generator:
         """One-sided write of ``nbytes`` from the send buffer into
         ``dst``'s registered window at ``raddr``.  Completion means the
         target's ack arrived — the data is placed remotely, not merely
-        accepted by the local board."""
+        accepted by the local board.  The ack wait is bounded by
+        ``deadline_ns`` (None takes ``SimParams.op_deadline_ns``)."""
         if nbytes > self.buffer_bytes:
             raise ValueError(
                 f"remote_write of {nbytes} bytes exceeds the "
@@ -221,17 +237,23 @@ class MessagingService:
             payload=WriteReq(op_id, self.ctx.rank, raddr, nbytes),
             kind=PacketKind.RUNTIME,
             handler_key=int(RtMsgType.RDMA_WRITE))
-        yield from rt.wait("wack", op_id, w)
+        yield from rt.wait("wack", op_id, w, deadline_ns=deadline_ns,
+                           peer=dst)
         rt._m_writes.inc()
         rt._m_rdma_bytes.inc(nbytes)
         rt._m_write_ns.observe(self.ctx.sim.now - t0)
         return None
 
     # ----------------------------------------------------------- receiving --
-    def recv(self) -> Generator:
+    def recv(self, deadline_ns: Optional[float] = None) -> Generator:
         """Receive the next message (eager or rendezvous); re-stocks the
-        free queue (CNI) when the consumed buffer came from it."""
-        desc: ReceiveDescriptor = yield from self.ctx.recv()
+        free queue (CNI) when the consumed buffer came from it.
+
+        ``deadline_ns`` bounds the wait for an arrival (None takes
+        ``SimParams.op_deadline_ns``; 0 waits forever); on expiry a
+        :class:`~repro.runtime.RuntimeTimeout` is raised."""
+        desc: ReceiveDescriptor = yield from self.ctx.recv(
+            deadline_ns=deadline_ns)
         mgr = getattr(self.node.nic, "channel_manager", None)
         if (mgr is not None and desc.vaddr is not None
                 and desc.vaddr in self._recv_buffer_set):

@@ -26,10 +26,14 @@ from ..memory import (
 from ..network import Network, PacketKind
 from ..obs import MetricsScope, SpanTracer, private_scope
 from ..params import SimParams
+from .errors import RuntimeTimeout
 
 #: AIH object-code footprint of the DSM protocol (one consistency
 #: protocol resident in handler memory, per Section 3's assumption).
 DSM_HANDLER_CODE_BYTES = 48 * 1024
+
+#: Sentinel a timed-out Gate.wait_upto returns (never a real descriptor).
+_RECV_TIMEOUT = object()
 
 
 class Node:
@@ -266,24 +270,39 @@ class Node:
         self.app_rx_gate.notify(desc)
 
     # ------------------------------------------------------------- receive wait --
-    def wait_for_message(self) -> Generator:
+    def wait_for_message(self, deadline_ns: Optional[float] = None) -> Generator:
         """Block until a DATA message is available; returns its descriptor.
 
         The noticing cost differs by interface (polling vs interrupt) and
         is charged as synch overhead; the blocked stretch is synch delay.
+        ``deadline_ns`` bounds the wait (None takes
+        ``SimParams.op_deadline_ns``; 0 waits forever); expiry raises
+        :class:`~repro.runtime.RuntimeTimeout` instead of hanging.
         """
+        deadline = (self.params.op_deadline_ns if deadline_ns is None
+                    else deadline_ns)
         t0 = self.sim.now
         span = (self.spans.begin(f"node{self.node_id}", "rx_wait")
                 if self.spans is not None else None)
         self.app_blocked = True
         try:
             while not self.app_inbox:
-                yield from self.app_rx_gate.wait()
+                if deadline > 0:
+                    remaining = deadline - (self.sim.now - t0)
+                    if remaining > 0:
+                        got = yield from self.app_rx_gate.wait_upto(
+                            remaining, _RECV_TIMEOUT)
+                    else:
+                        got = _RECV_TIMEOUT
+                    if got is _RECV_TIMEOUT and not self.app_inbox:
+                        raise RuntimeTimeout("recv", None, deadline)
+                else:
+                    yield from self.app_rx_gate.wait()
         finally:
             self.app_blocked = False
-        if span is not None:
-            self.spans.end(span)
-        self.account_delay(self.sim.now - t0)
+            if span is not None:
+                self.spans.end(span)
+            self.account_delay(self.sim.now - t0)
         wake_ns = self.nic.rx_wake_overhead_ns()
         yield wake_ns
         self.account_overhead(wake_ns)

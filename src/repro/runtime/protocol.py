@@ -37,12 +37,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Any, Dict, Generator, List, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from ..engine import Category, SimulationError
 from ..network import Packet, PacketKind
 from ..params import SimParams
 from ..dsm.messages import MSG_BASE_BYTES
+from .errors import PeerDead, RuntimeTimeout
 
 __all__ = [
     "RT_HANDLER_CODE_BYTES",
@@ -61,6 +62,10 @@ __all__ = [
 #: (rendezvous responder + RDMA window logic), resident alongside the
 #: DSM protocol's 48 KB and the collectives' 16 KB.
 RT_HANDLER_CODE_BYTES = 28 * 1024
+
+#: Wake value of a deadline expiry; a protocol completion can never
+#: carry it, so the woken waiter knows its timer — not a reply — fired.
+_TIMEOUT = object()
 
 
 class RtMsgType(IntEnum):
@@ -197,8 +202,13 @@ class MessagingEngine:
         self._waiters: Dict[Tuple[str, int], _Waiter] = {}
         #: Early completions (a reply that lands before the app blocks).
         self._pending: Dict[Tuple[str, int], Any] = {}
+        #: Waits that expired; their late replies must be dropped, not
+        #: parked in _pending for a future op to collide with.
+        self._abandoned: Set[Tuple[str, int]] = set()
         #: Inbound rendezvous streams, keyed (src_node, op_id).
         self._rdv_in: Dict[Tuple[int, int], _RdvIn] = {}
+        #: Eager-retry rounds already granted, keyed by packet_id.
+        self._retry_rounds: Dict[int, int] = {}
 
         scope = node.metrics.scope("runtime")
         self._m_eager = scope.counter("eager_sends")
@@ -212,6 +222,9 @@ class MessagingEngine:
         self._m_chunks = scope.counter("rdv_chunks")
         self._m_nic_steps = scope.counter("nic_steps")
         self._m_host_steps = scope.counter("host_steps")
+        self._m_op_timeouts = scope.counter("op_timeouts")
+        self._m_peer_dead = scope.counter("peer_dead")
+        self._m_eager_retries = scope.counter("eager_retries")
         self._m_eager_ns = scope.histogram("eager_ns")
         self._m_rdv_ns = scope.histogram("rendezvous_ns")
         self._m_read_ns = scope.histogram("remote_read_ns")
@@ -412,30 +425,103 @@ class MessagingEngine:
         self._waiters[key] = w
         return w
 
-    def wait(self, kind: str, op_id: int, w: _Waiter) -> Generator:
+    def wait(self, kind: str, op_id: int, w: _Waiter,
+             deadline_ns: Optional[float] = None,
+             peer: Optional[int] = None) -> Generator:
         """Block the app thread until the matching reply; charge delay +
-        wake overhead.  Handles the reply-before-block race."""
+        wake overhead.  Handles the reply-before-block race.
+
+        ``deadline_ns`` bounds the block (None takes
+        ``SimParams.op_deadline_ns``; 0 waits forever — the seed
+        behaviour).  On expiry the wait raises a typed
+        :class:`~repro.runtime.RuntimeTimeout`, sharpened to
+        :class:`~repro.runtime.PeerDead` when the failure detector
+        already suspects ``peer``; the late reply, if it ever arrives,
+        is dropped."""
         key = (kind, op_id)
         if key in self._pending:
             del self._waiters[key]
             return self._pending.pop(key)
+        deadline = (self.params.op_deadline_ns if deadline_ns is None
+                    else deadline_ns)
+        timer = None
+        if deadline > 0:
+            timer = self.sim.schedule(deadline, lambda: self._expire(key))
         t0 = self.sim.now
         self.node.app_blocked = True
         try:
             value = yield w.event
         finally:
             self.node.app_blocked = False
+        if timer is not None and value is not _TIMEOUT:
+            timer.cancel()
         self.node.account_delay(self.sim.now - t0)
         wake_ns = self.node.nic.rx_wake_overhead_ns()
         yield wake_ns
         self.node.account_overhead(wake_ns)
+        if value is _TIMEOUT:
+            self._m_op_timeouts.inc()
+            if peer is not None and self.node.nic.detector.is_suspected(peer):
+                self._m_peer_dead.inc()
+                raise PeerDead(kind, peer, deadline)
+            raise RuntimeTimeout(kind, peer, deadline)
         return value
+
+    def _expire(self, key: Tuple[str, int]) -> None:
+        """Deadline timer: abandon the wait and wake the blocked thread
+        with the timeout sentinel (no-op if the reply won the race)."""
+        w = self._waiters.pop(key, None)
+        if w is None:
+            return
+        self._abandoned.add(key)
+        w.event.trigger(_TIMEOUT)
 
     def _complete(self, kind: str, op_id: int, value) -> None:
         key = (kind, op_id)
+        if key in self._abandoned:
+            # The waiter gave up at its deadline; drop the late reply.
+            self._abandoned.discard(key)
+            return
         w = self._waiters.get(key)
         if w is None:
             self._pending[key] = value
             return
         del self._waiters[key]
         w.event.trigger(value)
+
+    # ------------------------------------------------- failure integration --
+    def on_delivery_failed(self, packet: Packet, attempts: int) -> bool:
+        """Reliable-transport failure sink: bounded eager-send recovery.
+
+        Grants up to ``SimParams.runtime_send_retries`` extra retry
+        rounds to an eager DATA packet whose transport budget ran dry,
+        re-enqueuing the *same* packet object after a backoff (same
+        rel_seq, so the receiver's duplicate suppression stays correct
+        and a CNI retransmit still hits the Message Cache).  Returns
+        False — let :class:`~repro.core.DeliveryFailed` surface — for
+        anything else."""
+        budget = self.params.runtime_send_retries
+        if budget <= 0 or packet.kind is not PacketKind.DATA:
+            return False
+        rounds = self._retry_rounds.get(packet.packet_id, 0)
+        if rounds >= budget:
+            return False
+        self._retry_rounds[packet.packet_id] = rounds + 1
+        self._m_eager_retries.inc()
+        backoff = self.params.reliab_timeout_ns * (rounds + 1)
+        self.sim.schedule(backoff,
+                          lambda: self.node.nic.tx_queue.put(packet))
+        return True
+
+    def outstanding_waits(self) -> List[str]:
+        """Stuck-report probe: every wait this engine still holds open."""
+        waits = [
+            f"node{self.me}: runtime {kind} wait (op {op_id})"
+            for kind, op_id in sorted(self._waiters)
+        ]
+        waits.extend(
+            f"node{self.me}: inbound rendezvous from node{src} "
+            f"(op {op_id}, {st.received}/{st.nbytes} bytes)"
+            for (src, op_id), st in sorted(self._rdv_in.items())
+        )
+        return waits

@@ -63,7 +63,10 @@ def test_plan_is_frozen_and_hashable():
     # rides inside the frozen SimParams
     params = SimParams().replace(fault_plan=plan)
     assert params.fault_plan is plan
-    assert "CellLoss" in plan.describe()
+    # describe() emits the --fault-plan grammar (round-trips
+    # through parse_fault_plan; see tests/faults/test_roundtrip.py)
+    assert "cell_loss" in plan.describe()
+    assert plan.describe().startswith("seed=7;")
 
 
 def test_plan_rejects_non_schedules():

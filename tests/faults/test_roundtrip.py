@@ -1,0 +1,50 @@
+"""``FaultPlan.describe()`` <-> ``parse_fault_plan`` round-trip.
+
+The describe grammar is the CLI grammar (docs/reliability.md): a plan
+printed by ``describe()`` must parse back to an equal plan, for every
+schedule kind, so fault plans travel losslessly through logs, bench
+banners and ``--fault-plan`` arguments.
+"""
+
+import pytest
+
+from repro.faults import (
+    CellCorrupt,
+    CellLoss,
+    FaultPlan,
+    LinkDown,
+    NicStall,
+    NodeCrash,
+    NodeSlow,
+    parse_fault_plan,
+)
+
+SCHEDULES = [
+    CellLoss(rate=0.01, from_ns=5.0, to_ns=100.0),
+    CellLoss(nth=3, src=0, dst=2),
+    CellCorrupt(rate=0.5),
+    LinkDown(src=1, dst=0, from_ns=10.0, to_ns=20.0),
+    NicStall(node=2, from_ns=0.0, to_ns=50.0),
+    NodeCrash(node=1, at_ns=42.0),
+    NodeSlow(node=3, factor=4.0, from_ns=1.0, to_ns=9.0),
+]
+
+
+@pytest.mark.parametrize("sched", SCHEDULES, ids=lambda s: type(s).__name__)
+def test_single_schedule_round_trips(sched):
+    plan = FaultPlan(seed=11, schedules=(sched,))
+    again = parse_fault_plan(plan.describe())
+    assert again == plan
+    assert again.describe() == plan.describe()
+
+
+def test_full_plan_round_trips():
+    plan = FaultPlan(seed=7, schedules=tuple(SCHEDULES))
+    again = parse_fault_plan(plan.describe())
+    assert again == plan
+    assert again.describe() == plan.describe()
+
+
+def test_round_trip_preserves_unbounded_window():
+    plan = FaultPlan(seed=0, schedules=(NodeSlow(node=0, factor=2.0),))
+    assert parse_fault_plan(plan.describe()) == plan

@@ -18,7 +18,7 @@ from repro.harness import (
 def test_registry_covers_every_table_and_figure():
     expected = {f"fig{i}" for i in range(2, 15)} | {
         f"table{i}" for i in range(1, 6)
-    } | {"faults", "collectives", "messaging"}
+    } | {"faults", "collectives", "messaging", "failures"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -95,7 +95,7 @@ def test_runner_cli_fault_plan_option(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "fault plan:" in out
-    assert "CellLoss" in out
+    assert "cell_loss" in out
 
 
 def test_quick_scale_is_quick():

@@ -107,5 +107,5 @@ def test_apps_expose_run_helpers():
 def test_harness_exposes_every_experiment():
     from repro.harness import EXPERIMENTS
 
-    # 13 figures + 5 tables + faults + collectives + messaging
-    assert len(EXPERIMENTS) == 21
+    # 13 figures + 5 tables + faults + collectives + messaging + failures
+    assert len(EXPERIMENTS) == 22

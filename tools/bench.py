@@ -15,7 +15,10 @@ Measures three things on a fixed, pinned workload set:
   workload each);
 * **messaging throughput** — simulated messages/sec through the
   messaging runtime's eager path (one pinned ping-pong workload,
-  docs/runtime.md).
+  docs/runtime.md);
+* **heartbeat overhead** — the pinned Jacobi run with the failure
+  detector's heartbeats off vs on; the off arm is regression-gated so
+  the reliability stack stays free when disabled (docs/reliability.md).
 
 Results land in ``BENCH_<date>.json`` at the repo root, establishing a
 perf trajectory across PRs.  ``--check OLD.json`` compares the current
@@ -52,6 +55,7 @@ CHECKED_METRICS = (
     ("engine.events_per_sec", True),
     ("experiments.total_s", False),
     ("messaging.msgs_per_sec", True),
+    ("heartbeat.off_events_per_sec", True),
 )
 
 
@@ -184,6 +188,39 @@ def _time_messaging(smoke: bool) -> Dict[str, Any]:
     }
 
 
+def _time_heartbeat_overhead(smoke: bool) -> Dict[str, Any]:
+    """Failure-detector cost: the pinned Jacobi run with heartbeats off
+    vs on (500 us interval).  The off arm is the regression-gated
+    baseline — detector machinery must stay free when disabled (the
+    reliability stack's <2% overhead budget, docs/reliability.md)."""
+    from repro.apps import JacobiConfig
+    from repro.harness import RunSpec, execute_run
+    from repro.params import SimParams
+
+    cfg = JacobiConfig(n=32, iterations=2) if smoke \
+        else JacobiConfig(n=96, iterations=5)
+    out: Dict[str, Any] = {
+        "workload": f"jacobi n={cfg.n} iters={cfg.iterations} p4 cni",
+    }
+    for arm, interval_ns in (("off", 0.0), ("on", 500_000.0)):
+        spec = RunSpec(
+            "jacobi",
+            SimParams().replace(num_processors=4,
+                                heartbeat_interval_ns=interval_ns),
+            "cni", cfg)
+        execute_run(spec)  # warm-up
+        t0 = time.perf_counter()
+        stats = execute_run(spec)
+        dt = time.perf_counter() - t0
+        events = float(stats.metrics["engine.events_processed"])
+        out[f"{arm}_events"] = events
+        out[f"{arm}_wall_s"] = dt
+        out[f"{arm}_events_per_sec"] = events / dt if dt > 0 else 0.0
+    off, on = out["off_events_per_sec"], out["on_events_per_sec"]
+    out["on_vs_off_ratio"] = on / off if off > 0 else 0.0
+    return out
+
+
 def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     """Run every arm; return the BENCH document (sans date stamp)."""
     jobs = jobs or (os.cpu_count() or 1)
@@ -210,6 +247,12 @@ def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     doc["messaging"] = _time_messaging(smoke)
     print(f"[bench]   {doc['messaging']['msgs_per_sec']:,.0f} msgs/s "
           f"({doc['messaging']['workload']})")
+    print("[bench] failure-detector heartbeat overhead ...")
+    doc["heartbeat"] = _time_heartbeat_overhead(smoke)
+    hb = doc["heartbeat"]
+    print(f"[bench]   off: {hb['off_events_per_sec']:,.0f} events/s, "
+          f"on: {hb['on_events_per_sec']:,.0f} events/s "
+          f"(ratio {hb['on_vs_off_ratio']:.2f})")
     print(f"[bench] parallel speedup at --jobs {jobs} vs 1 ...")
     doc["parallel"] = _time_parallel_speedup(jobs, smoke)
     p = doc["parallel"]

@@ -23,10 +23,14 @@ from .parallel import (
     RunFailure,
     RunSpec,
     default_jobs,
+    effective_cores,
     execute_run,
     merge_run_metrics,
+    pool_metrics,
+    pool_size,
     run_map,
     set_default_jobs,
+    shutdown_pool,
 )
 from .report import ascii_plot, format_series, format_table
 from .svgplot import render_series_svg
@@ -50,6 +54,7 @@ __all__ = [
     "bandwidth_microbenchmark",
     "collective_latency_experiment",
     "default_jobs",
+    "effective_cores",
     "execute_run",
     "failures_experiment",
     "fault_sweep_experiment",
@@ -61,10 +66,13 @@ __all__ = [
     "one_way_latency_ns",
     "overhead_table_experiment",
     "page_size_experiment",
+    "pool_metrics",
+    "pool_size",
     "render_series_svg",
     "run_experiment",
     "run_map",
     "set_default_jobs",
+    "shutdown_pool",
     "speedup_experiment",
     "sweep_param",
     "table1_parameters",

@@ -13,7 +13,10 @@ Every grid-shaped experiment builds its runs as
 :class:`~repro.harness.parallel.RunSpec` lists and executes them through
 :func:`~repro.harness.parallel.run_map`, so they fan out across worker
 processes under ``--jobs N`` while producing bit-identical results (see
-docs/parallel_runs.md).  A spec's ``app`` string is resolved by the
+docs/parallel_runs.md).  ``run_map`` dispatches onto one process-wide
+*warm* pool, so a session regenerating many small sweeps back to back
+(``all`` at quick scale) pays worker spawn and interpreter import once,
+not once per experiment.  A spec's ``app`` string is resolved by the
 workload registry (:func:`repro.apps.run`), so experiment code never
 names a ``run_*`` function directly — any registered workload is
 sweepable.  The two microbenchmarks

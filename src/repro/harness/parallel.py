@@ -14,9 +14,22 @@ the executor guarantees by
 * seeding each worker's global RNGs from the spec's position in the
   sweep (the simulation's own randomness — fault plans, Water's initial
   state — is already carried by explicit seeds inside the spec);
-* collecting results strictly in submission order and doing all shared
-  mutation (the :data:`~repro.harness.export.GLOBAL_METRICS_LOG`
-  recording) in the parent process.
+* re-sequencing results by sweep position in the parent (chunks finish
+  out of order; the result list and all shared mutation — the
+  :data:`~repro.harness.export.GLOBAL_METRICS_LOG` recording — are
+  strictly in spec order).
+
+The pool itself is **warm**: created lazily on the first ``run_map``
+that needs workers, sized by :func:`default_jobs`, and reused across
+calls, so an experiment made of many small sweeps pays worker
+spawn + interpreter import once per *process*, not once per sweep.
+Workers pre-import the simulation stack on spawn
+(:func:`_warm_worker`), specs ship in per-worker **chunks** whose shared
+``SimParams`` / workload configs are pickled once per chunk rather than
+once per point, and the pool is torn down by ``atexit`` (or immediately
+when a worker raises an untyped error) so no orphan workers outlive the
+harness.  Lifecycle and overhead are instrumented under the
+``harness.pool.*`` metrics (:func:`pool_metrics`).
 
 Worker metric trees come back inside ``RunStats.metrics`` /
 ``RunStats.metric_kinds`` and fold into one sweep-wide tree through the
@@ -28,12 +41,14 @@ See docs/parallel_runs.md for the design and the `--jobs` CLI usage.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,13 +57,18 @@ from ..obs import MetricsRegistry, registry_from_snapshot
 from ..params import SimParams
 
 __all__ = [
+    "POOL_METRICS",
     "RunFailure",
     "RunSpec",
     "default_jobs",
+    "effective_cores",
     "execute_run",
     "merge_run_metrics",
+    "pool_metrics",
+    "pool_size",
     "run_map",
     "set_default_jobs",
+    "shutdown_pool",
 ]
 
 #: Worker-RNG seed base, mixed with each spec's sweep position.
@@ -59,10 +79,62 @@ _SEED_BASE = 0x5EED_C0DE
 #: test suite are unaffected until the CLI — or a user — opts in.
 _default_jobs: int = 1
 
+#: Chunks per worker the chunksize heuristic aims for: enough chunks
+#: that a slow point does not strand the other workers idle, few enough
+#: that per-chunk submit/pickle overhead stays negligible.
+_CHUNKS_PER_WORKER = 2
+
+#: Dispatch-overhead histogram buckets (ns per point): spans IPC noise
+#: (~tens of us) up to a full worker cold-start (~hundreds of ms).
+_OVERHEAD_BUCKETS_NS: Tuple[float, ...] = (
+    10_000.0, 30_000.0, 100_000.0, 300_000.0, 1_000_000.0, 3_000_000.0,
+    10_000_000.0, 30_000_000.0, 100_000_000.0, 1_000_000_000.0,
+)
+
+#: Parent-side registry for the executor's own lifecycle metrics.  These
+#: are *harness* metrics (one registry per parent process), deliberately
+#: separate from the per-run simulation registries that ship back inside
+#: ``RunStats.metrics`` — see the ``harness.pool.*`` catalog section in
+#: docs/observability.md.
+POOL_METRICS = MetricsRegistry()
+_pool_scope = POOL_METRICS.scope("harness.pool")
+_m_spawns = _pool_scope.counter("spawns")
+_m_workers = _pool_scope.counter("workers_provisioned")
+_m_warm_hits = _pool_scope.counter("warm_hits")
+_m_shutdowns = _pool_scope.counter("shutdowns")
+_m_chunks = _pool_scope.counter("chunks_dispatched")
+_m_points = _pool_scope.counter("points_dispatched")
+_m_inline = _pool_scope.counter("points_inline")
+_m_size = _pool_scope.gauge("size")
+_m_overhead = _pool_scope.histogram("dispatch_overhead_ns",
+                                    _OVERHEAD_BUCKETS_NS)
+
+#: The warm pool (created lazily, survives across ``run_map`` calls).
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_size: int = 0
+_atexit_registered = False
+
 
 def default_jobs() -> int:
     """The worker count ``run_map`` uses when ``jobs`` is not given."""
     return _default_jobs
+
+
+def effective_cores() -> int:
+    """Cores actually usable by this process: scheduler affinity where
+    the platform exposes it (containers routinely pin below
+    ``cpu_count``), otherwise ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def _force_pool() -> bool:
+    """``REPRO_POOL_FORCE=1`` disables the cpu-aware worker clamp —
+    tests and the bench dispatch-overhead arm use it to exercise the
+    real pool even on a 1-core machine."""
+    return os.environ.get("REPRO_POOL_FORCE", "") == "1"
 
 
 def set_default_jobs(jobs: Optional[int]) -> int:
@@ -204,20 +276,202 @@ def execute_run(spec: RunSpec, index: int = 0,
                         spec.workload)[0]
 
 
-def _worker(job: Tuple[int, RunSpec, str]) -> Tuple[int, Any]:
-    index, spec, on_error = job
-    return index, execute_run(spec, index, on_error=on_error)
+# -- the warm pool -------------------------------------------------------------
+
+def _warm_worker() -> None:
+    """Worker initializer: run once per spawned worker, before any chunk.
+
+    Pre-imports the full simulation stack (engine, DSM, runtime,
+    collectives, workload registry) and touches numpy so the first real
+    chunk a worker executes pays simulation cost only — no import or
+    allocator cold-start inside a timed sweep.
+    """
+    import repro.apps  # noqa: F401  (workload registry -> engine/dsm/network)
+    import repro.collectives  # noqa: F401
+    import repro.runtime  # noqa: F401
+
+    np.dot(np.zeros(4), np.zeros(4))  # prime numpy's dispatch caches
+
+
+def _atexit_shutdown() -> None:
+    shutdown_pool()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The warm pool, creating (or growing) it if needed.
+
+    Sized ``max(workers, default_jobs())`` so the common CLI pattern —
+    ``set_default_jobs(N)`` then many sweeps — provisions once up front.
+    A pool that is already at least as large as the request is a *warm
+    hit* and is reused as-is; a smaller one is torn down and replaced
+    (``ProcessPoolExecutor`` cannot grow in place).
+    """
+    global _pool, _pool_size, _atexit_registered
+    if _pool is not None:
+        if _pool_size >= workers:
+            _m_warm_hits.inc()
+            return _pool
+        shutdown_pool()
+    size = max(workers, default_jobs())
+    pool = ProcessPoolExecutor(max_workers=size, initializer=_warm_worker)
+    _pool, _pool_size = pool, size
+    _m_spawns.inc()
+    _m_workers.inc(size)
+    _m_size.set(size)
+    if not _atexit_registered:
+        atexit.register(_atexit_shutdown)
+        _atexit_registered = True
+    return pool
+
+
+def pool_size() -> int:
+    """Provisioned worker count of the live warm pool (0 when cold)."""
+    return _pool_size if _pool is not None else 0
+
+
+def pool_metrics() -> Dict[str, Any]:
+    """Flat snapshot of the executor's ``harness.pool.*`` metrics."""
+    return POOL_METRICS.snapshot()
+
+
+def shutdown_pool(cancel_pending: bool = False) -> None:
+    """Tear the warm pool down (idempotent; registered with ``atexit``).
+
+    Waits for running chunks, so no orphan workers survive the call;
+    ``cancel_pending=True`` additionally cancels chunks still queued —
+    the error path uses this so one worker's untyped exception does not
+    leave the rest of the sweep running against a dead parent.
+    """
+    global _pool, _pool_size
+    pool, _pool, _pool_size = _pool, None, 0
+    if pool is None:
+        return
+    _m_shutdowns.inc()
+    _m_size.set(0)
+    try:
+        pool.shutdown(wait=True, cancel_futures=cancel_pending)
+    except TypeError:  # pragma: no cover — Python < 3.9
+        pool.shutdown(wait=True)
+
+
+# -- chunked dispatch ----------------------------------------------------------
+
+def _chunksize(points: int, workers: int) -> int:
+    """Points per chunk: ~``_CHUNKS_PER_WORKER`` chunks per worker.
+
+    Large enough that shared ``SimParams``/workload objects pickle once
+    per chunk instead of once per point, small enough that one slow
+    point cannot strand the other workers idle behind it.
+    """
+    return max(1, -(-points // (workers * _CHUNKS_PER_WORKER)))
+
+
+def _encode_chunk(start: int, specs: Sequence[RunSpec],
+                  on_error: str) -> Tuple[str, List[Any], List[Tuple]]:
+    """Pack a contiguous run of specs for one pool submission.
+
+    ``SimParams`` and workload configs repeat heavily across a sweep
+    (eight points typically share one workload object and four params
+    values), so each distinct object lands once in a shared table and
+    points reference it by index — the chunk pickles the shared objects
+    once, not once per point.
+    """
+    shared: List[Any] = []
+
+    def share(obj: Any) -> int:
+        for i, seen in enumerate(shared):
+            if seen is obj:
+                return i
+            try:
+                if type(seen) is type(obj) and seen == obj:
+                    return i
+            except Exception:
+                pass  # exotic __eq__ (e.g. array-valued): identity only
+        shared.append(obj)
+        return len(shared) - 1
+
+    points = [(start + i, spec.app, share(spec.params), spec.interface,
+               share(spec.workload), spec.seed, spec.meta)
+              for i, spec in enumerate(specs)]
+    return on_error, shared, points
+
+
+def _run_chunk(payload: Tuple[str, List[Any], List[Tuple]]
+               ) -> Tuple[List[Tuple[int, Any]], float]:
+    """Pool-worker body: execute one chunk, in chunk order.
+
+    Each point is rebuilt into a :class:`RunSpec` and executed through
+    :func:`execute_run` with its *global* sweep index, so RNG seeding is
+    identical to the ``--jobs 1`` path.  Returns the indexed results
+    plus the chunk's busy time, from which the parent derives per-point
+    dispatch overhead.
+    """
+    on_error, shared, points = payload
+    t0 = time.perf_counter()
+    out = []
+    for index, app, params_i, interface, workload_i, seed, meta in points:
+        spec = RunSpec(app, shared[params_i], interface,
+                       workload=shared[workload_i], seed=seed, meta=meta)
+        out.append((index, execute_run(spec, index, on_error=on_error)))
+    return out, time.perf_counter() - t0
+
+
+def _dispatch_chunked(specs: Sequence[RunSpec], workers: int,
+                      on_error: str, chunksize: Optional[int]) -> List[Any]:
+    """Fan the specs over the warm pool; return results in spec order.
+
+    Chunks complete out of order (``as_completed``), and each result is
+    slotted back by its global index — so a fast worker never waits on a
+    slow chunk submitted earlier, yet callers observe pure spec order.
+    Any exception escaping a chunk (a worker raising an *untyped* error,
+    or the pool breaking outright) tears the pool down before
+    propagating: no orphan workers, and the next ``run_map`` cold-starts
+    a fresh pool.
+    """
+    n = len(specs)
+    size = chunksize if chunksize is not None else _chunksize(n, workers)
+    if size < 1:
+        raise ValueError(f"chunksize={size} must be >= 1")
+    pool = _get_pool(workers)
+    results: List[Any] = [None] * n
+    submitted: Dict[Future, Tuple[float, int]] = {}
+    for begin in range(0, n, size):
+        chunk = _encode_chunk(begin, specs[begin:begin + size], on_error)
+        fut = pool.submit(_run_chunk, chunk)
+        submitted[fut] = (time.perf_counter(), len(chunk[2]))
+    _m_chunks.inc(len(submitted))
+    _m_points.inc(n)
+    try:
+        for fut in as_completed(submitted):
+            out, busy_s = fut.result()
+            wall_s = time.perf_counter() - submitted[fut][0]
+            per_point_ns = max(0.0, wall_s - busy_s) * 1e9 / len(out)
+            for index, stats in out:
+                _m_overhead.observe(per_point_ns)
+                results[index] = stats
+    except BaseException:
+        shutdown_pool(cancel_pending=True)
+        raise
+    return results
 
 
 def run_map(specs: Sequence[RunSpec], jobs: Optional[int] = None,
-            record: bool = True, on_error: str = "raise") -> List[Any]:
+            record: bool = True, on_error: str = "raise",
+            chunksize: Optional[int] = None) -> List[Any]:
     """Run every spec; return their :class:`RunStats` in spec order.
 
     ``jobs`` is the worker-process count (None → :func:`default_jobs`;
-    1 → run in-process, no pool).  With ``record=True`` each run is
-    recorded into :data:`~repro.harness.export.GLOBAL_METRICS_LOG` — in
-    the parent, in spec order, with the run's ``digest`` attached — so
-    ``--metrics`` exports are byte-identical at any jobs setting.
+    1 → run in-process, no pool).  ``jobs > 1`` dispatches chunks of
+    specs onto the shared **warm pool** (created on first use, reused by
+    every later call — see the module docstring), clamped to
+    :func:`effective_cores` so over-subscribing a small machine can
+    never run slower than serial (``REPRO_POOL_FORCE=1`` disables the
+    clamp); ``chunksize`` overrides
+    the points-per-chunk heuristic (:func:`_chunksize`).  With
+    ``record=True`` each run is recorded into
+    :data:`~repro.harness.export.GLOBAL_METRICS_LOG` — in the parent, in
+    spec order, with the run's ``digest`` attached — so ``--metrics``
+    exports are byte-identical at any jobs setting.
 
     ``on_error="record"`` returns a :class:`RunFailure` in the failed
     run's slot (typed errors only) instead of letting one dying worker
@@ -235,13 +489,18 @@ def run_map(specs: Sequence[RunSpec], jobs: Optional[int] = None,
         return []
 
     workers = min(jobs, len(specs))
+    if workers > 1 and not _force_pool():
+        # CPU-aware worker budget: two workers on one core is strictly a
+        # loss (pure dispatch tax, zero parallelism), so ``--jobs 2`` on
+        # a 1-core box runs in-process — never slower than serial —
+        # while any multi-core machine gets the full requested fan-out.
+        workers = min(workers, effective_cores())
     if workers <= 1:
         results = [execute_run(spec, i, on_error=on_error)
                    for i, spec in enumerate(specs)]
+        _m_inline.inc(len(specs))
     else:
-        jobs_iter = ((i, spec, on_error) for i, spec in enumerate(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = [stats for _i, stats in pool.map(_worker, jobs_iter)]
+        results = _dispatch_chunked(specs, workers, on_error, chunksize)
 
     if record:
         from .export import GLOBAL_METRICS_LOG

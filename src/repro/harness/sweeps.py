@@ -35,8 +35,10 @@ def sweep_param(
 
     ``metric`` selects the y series: ``elapsed_ms``, ``speedup_vs_first``
     (normalized to each interface's first point) or ``hit_ratio_pct``.
-    The (interface x value) grid runs through the parallel executor;
-    ``jobs`` overrides :func:`~repro.harness.parallel.default_jobs`.
+    The (interface x value) grid runs through the parallel executor's
+    shared warm pool (docs/parallel_runs.md), so chained sweeps don't
+    re-pay worker spawn; ``jobs`` overrides
+    :func:`~repro.harness.parallel.default_jobs`.
     """
     base = base_params or SimParams()
     if not values:

@@ -69,3 +69,55 @@ def test_missing_keys_are_skipped(bench, tmp_path):
     old = write(tmp_path, "old.json",
                 {"smoke": True, "engine": {}, "experiments": {}})
     assert bench.check_regression(doc(1.0, 999.0), old, 0.20) == 0
+
+
+# -- the cpu-aware parallel.speedup gate ---------------------------------------
+
+def doc_par(speedup, cores, smoke=True):
+    d = doc(1000.0, 10.0, smoke=smoke)
+    d["parallel"] = {"speedup": speedup, "effective_cores": cores}
+    return d
+
+
+def test_speedup_below_floor_fails_on_multicore(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    # 0.84x on 2 cores is the pessimization this gate exists to catch
+    assert bench.check_regression(doc_par(0.84, 2), old, 0.20) == 1
+
+
+def test_speedup_at_floor_passes(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(
+        doc_par(bench.SPEEDUP_FLOOR, 2), old, 0.20) == 0
+
+
+def test_speedup_on_one_core_is_informational(bench, tmp_path):
+    # scheduling physics, not a regression: the gate must not fire
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(doc_par(0.5, 1), old, 0.20) == 0
+
+
+def test_speedup_relative_regression_vs_multicore_baseline(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc_par(3.0, 4))
+    assert bench.check_regression(doc_par(1.5, 4), old, 0.20) == 1
+
+
+def test_one_core_baseline_skips_relative_but_keeps_floor(bench, tmp_path):
+    # a 1-core baseline's speedup is meaningless as a reference; the
+    # absolute floor still applies to the current multi-core run
+    old = write(tmp_path, "old.json", doc_par(0.84, 1))
+    assert bench.check_regression(doc_par(1.8, 4), old, 0.20) == 0
+    assert bench.check_regression(doc_par(0.9, 4), old, 0.20) == 1
+
+
+def test_missing_parallel_arm_is_skipped(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    assert bench.check_regression(doc(1000.0, 10.0), old, 0.20) == 0
+
+
+def test_effective_cores_falls_back_to_cpu_count(bench, tmp_path):
+    old = write(tmp_path, "old.json", doc(1000.0, 10.0))
+    current = doc(1000.0, 10.0)
+    current["cpu_count"] = 1
+    current["parallel"] = {"speedup": 0.5}  # pre-effective_cores schema
+    assert bench.check_regression(current, old, 0.20) == 0

@@ -71,6 +71,7 @@ def registered_names() -> Set[str]:
     """Union of metric names a smoke-run of the simulator registers."""
     from repro.apps import JacobiConfig, PingPongConfig, run_jacobi, \
         run_pingpong
+    from repro.harness import RunSpec, pool_metrics, run_map, shutdown_pool
     from repro.harness.experiments import one_way_latency_ns
     from repro.harness.export import GLOBAL_METRICS_LOG
     from repro.params import SimParams
@@ -91,6 +92,23 @@ def registered_names() -> Set[str]:
     one_way_latency_ns(1024, "cni", SimParams())
     names.update(GLOBAL_METRICS_LOG.entries[-1]["metrics"])
     GLOBAL_METRICS_LOG.clear()
+    # One two-point parallel dispatch so the executor's harness.pool.*
+    # lifecycle metrics are exercised, not merely registered at import
+    # (REPRO_POOL_FORCE bypasses the cpu-aware clamp on 1-core boxes).
+    tiny = JacobiConfig(n=16, iterations=1)
+    forced_before = os.environ.get("REPRO_POOL_FORCE")
+    os.environ["REPRO_POOL_FORCE"] = "1"
+    try:
+        run_map([RunSpec("jacobi", SimParams().replace(num_processors=1),
+                         "cni", tiny) for _ in range(2)],
+                jobs=2, record=False)
+    finally:
+        shutdown_pool()
+        if forced_before is None:
+            del os.environ["REPRO_POOL_FORCE"]
+        else:
+            os.environ["REPRO_POOL_FORCE"] = forced_before
+    names.update(pool_metrics())
     return {_NODE_RE.sub("node0.", n) for n in names}
 
 

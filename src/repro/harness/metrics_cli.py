@@ -17,6 +17,7 @@ metric) means.
 from __future__ import annotations
 
 import os
+import sys
 from typing import List, Optional
 
 from ..obs import aggregate_nodes, format_node_table, snapshot_to_json
@@ -66,10 +67,23 @@ def metrics_main(argv: List[str], scale) -> int:
     argv = list(argv)
     app = _take(argv, "--app") or "jacobi"
     interface = _take(argv, "--interface") or "cni"
-    nprocs = int(_take(argv, "--nprocs") or 4)
+    nprocs_arg = _take(argv, "--nprocs") or "4"
+    try:
+        nprocs = int(nprocs_arg)
+        if nprocs < 1:
+            raise ValueError("must be >= 1")
+    except ValueError as exc:
+        print(f"--nprocs: {nprocs_arg!r}: {exc}", file=sys.stderr)
+        return 2
     json_path = _take(argv, "--json")
     if argv:
-        raise SystemExit(f"unrecognized arguments: {argv}")
+        print(f"unrecognized arguments: {' '.join(argv)}",
+              file=sys.stderr)
+        return 2
+    if interface not in ("cni", "standard"):
+        print(f"--interface: {interface!r} must be 'cni' or 'standard'",
+              file=sys.stderr)
+        return 2
 
     stats = run_metrics_workload(app, interface, nprocs, scale)
     snapshot = stats.metrics

@@ -374,7 +374,7 @@ def _take_option(argv: List[str], name: str) -> Optional[str]:
     if name in argv:
         i = argv.index(name)
         if i + 1 >= len(argv):
-            raise SystemExit(f"{name} needs a directory argument")
+            raise SystemExit(f"{name} needs a value")
         value = argv[i + 1]
         del argv[i:i + 2]
         return value
@@ -401,7 +401,7 @@ def main(argv: List[str] = None) -> int:
         jobs = set_default_jobs(int(jobs_arg) if jobs_arg is not None
                                 else None)
     except ValueError as exc:
-        print(f"--jobs: {exc}")
+        print(f"--jobs: {exc}", file=sys.stderr)
         return 1
     base_params = None
     if fault_spec:
@@ -410,7 +410,7 @@ def main(argv: List[str] = None) -> int:
         try:
             plan = parse_fault_plan(fault_spec)
         except ValueError as exc:
-            print(exc)
+            print(f"--fault-plan: {exc}", file=sys.stderr)
             return 1
         base_params = SimParams().replace(fault_plan=plan,
                                           reliable_transport=True)
@@ -418,7 +418,8 @@ def main(argv: List[str] = None) -> int:
               f"(reliable transport on)")
     if coll_arg:
         if coll_arg not in ("nic", "host"):
-            print(f"--collectives: {coll_arg!r} must be 'nic' or 'host'")
+            print(f"--collectives: {coll_arg!r} must be 'nic' or 'host'",
+                  file=sys.stderr)
             return 1
         base_params = (base_params or SimParams()).replace(
             collectives=coll_arg)
@@ -427,7 +428,8 @@ def main(argv: List[str] = None) -> int:
         try:
             deadline_ns = float(deadline_arg)
         except ValueError:
-            print(f"--deadline-ns: {deadline_arg!r} is not a number")
+            print(f"--deadline-ns: {deadline_arg!r} is not a number",
+                  file=sys.stderr)
             return 1
         base_params = (base_params or SimParams()).replace(
             op_deadline_ns=deadline_ns)
@@ -436,7 +438,8 @@ def main(argv: List[str] = None) -> int:
         try:
             heartbeat_ns = float(heartbeat_arg)
         except ValueError:
-            print(f"--heartbeat-ns: {heartbeat_arg!r} is not a number")
+            print(f"--heartbeat-ns: {heartbeat_arg!r} is not a number",
+                  file=sys.stderr)
             return 1
         base_params = (base_params or SimParams()).replace(
             heartbeat_interval_ns=heartbeat_ns)
@@ -451,6 +454,12 @@ def main(argv: List[str] = None) -> int:
 
         return metrics_main(argv[1:], scale)
     ids = sorted(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {' '.join(unknown)} "
+              f"(choose from {' '.join(sorted(EXPERIMENTS))})",
+              file=sys.stderr)
+        return 2
     if jobs > 1:
         print(f"parallel executor: --jobs {jobs}")
     results_path = os.path.join(results_dir,

@@ -1,0 +1,183 @@
+"""JSON codecs for run descriptions: SimParams and workload configs.
+
+The run-farm service (:mod:`repro.service`) stores and transports
+:class:`~repro.harness.parallel.RunSpec` /
+:class:`~repro.engine.RunStats` as JSON documents, which needs the two
+non-trivial spec members — the frozen :class:`~repro.params.SimParams`
+and the per-app workload config dataclasses — to round-trip through
+plain data.  Rules:
+
+* every encoder produces pure JSON types (dict/list/str/number/None),
+  deterministically (``json.dumps(..., sort_keys=True)`` of an encoded
+  document is canonical — :meth:`RunSpec.digest` relies on it);
+* a :class:`~repro.faults.FaultPlan` travels as its ``describe()``
+  string, which the ``--fault-plan`` grammar guarantees round-trips
+  through :func:`~repro.faults.parse_fault_plan`;
+* workload configs are *type-tagged* dataclass documents; the legal
+  types are exactly the config classes the workload registry
+  (:data:`repro.apps.WORKLOADS`) knows about, plus the value types
+  nested inside them (``BandedSPD`` with its numpy band storage), so a
+  document can never instantiate an arbitrary class;
+* decoders validate: unknown fields, unknown type tags and malformed
+  payloads raise :class:`ValueError` with the offending name — a farm
+  fed garbage answers 400, it does not crash.
+
+Versioning lives one level up, in the documents that embed these
+encodings (``run_spec`` / ``run_stats`` / ``run_failure`` — see
+``schema_version`` in :mod:`repro.harness.parallel` and
+:mod:`repro.engine.stats`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..params import SimParams
+
+__all__ = [
+    "decode_params",
+    "decode_workload",
+    "encode_params",
+    "encode_workload",
+]
+
+_PARAM_FIELDS = {f.name for f in dataclasses.fields(SimParams)}
+
+
+def encode_params(params: SimParams) -> Dict[str, Any]:
+    """``SimParams`` as a flat JSON dict (fault plan as grammar text)."""
+    doc: Dict[str, Any] = {}
+    for name in _PARAM_FIELDS:
+        value = getattr(params, name)
+        if name == "fault_plan":
+            value = None if value is None else value.describe()
+        doc[name] = value
+    return doc
+
+
+def decode_params(doc: Dict[str, Any]) -> SimParams:
+    """Rebuild ``SimParams`` from :func:`encode_params` output.
+
+    Unknown fields raise :class:`ValueError` — a document written by a
+    newer build with parameters this one does not model must not be
+    silently reinterpreted (its digest would lie).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"params document must be a dict, got "
+                         f"{type(doc).__name__}")
+    unknown = set(doc) - _PARAM_FIELDS
+    if unknown:
+        raise ValueError(f"unknown SimParams fields: {sorted(unknown)}")
+    kwargs = dict(doc)
+    plan = kwargs.get("fault_plan")
+    if plan is not None:
+        from ..faults import parse_fault_plan
+
+        if not isinstance(plan, str):
+            raise ValueError("fault_plan must travel as its describe() "
+                             f"string, got {type(plan).__name__}")
+        kwargs["fault_plan"] = parse_fault_plan(plan)
+    return SimParams(**kwargs)
+
+
+# -- workload configs ----------------------------------------------------------
+
+def _config_types() -> Dict[str, type]:
+    """Type tag -> class for every decodable workload-config document.
+
+    Derived from the workload registry at call time, so a newly
+    registered workload's config is serializable with no serde edits.
+    ``BandedSPD`` is included explicitly: it is not a registered config
+    itself but nests inside ``CholeskyConfig``.
+    """
+    from ..apps import WORKLOADS
+    from ..apps.matrices import BandedSPD
+
+    types: Dict[str, type] = {"BandedSPD": BandedSPD}
+    for w in WORKLOADS.values():
+        types[w.config_type.__name__] = w.config_type
+    return types
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return {"__kind__": "ndarray", "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": value.ravel().tolist()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return encode_workload(value)
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValueError(f"cannot encode workload value of type "
+                     f"{type(value).__name__}")
+
+
+def _decode_value(value: Any, types: Dict[str, type]) -> Any:
+    if isinstance(value, dict):
+        kind = value.get("__kind__")
+        if kind == "ndarray":
+            arr = np.array(value["data"],
+                           dtype=np.dtype(value["dtype"]))
+            return arr.reshape(value["shape"])
+        if kind == "config":
+            return _decode_config(value, types)
+        raise ValueError(f"unknown encoded value kind {kind!r}")
+    if isinstance(value, list):
+        return [_decode_value(v, types) for v in value]
+    return value
+
+
+def encode_workload(config: Any) -> Optional[Dict[str, Any]]:
+    """A workload config dataclass as a type-tagged JSON document
+    (None passes through: some specs carry no config)."""
+    if config is None:
+        return None
+    if not (dataclasses.is_dataclass(config)
+            and not isinstance(config, type)):
+        raise ValueError(f"workload config must be a dataclass instance, "
+                         f"got {type(config).__name__}")
+    return {
+        "__kind__": "config",
+        "type": type(config).__name__,
+        "fields": {f.name: _encode_value(getattr(config, f.name))
+                   for f in dataclasses.fields(config)},
+    }
+
+
+def _decode_config(doc: Dict[str, Any], types: Dict[str, type]) -> Any:
+    tag = doc.get("type")
+    cls = types.get(tag)
+    if cls is None:
+        raise ValueError(
+            f"unknown workload config type {tag!r} "
+            f"(known: {sorted(types)})")
+    fields = doc.get("fields")
+    if not isinstance(fields, dict):
+        raise ValueError(f"config {tag!r}: missing fields document")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(fields) - known
+    if unknown:
+        raise ValueError(f"config {tag!r}: unknown fields "
+                         f"{sorted(unknown)}")
+    kwargs = {name: _decode_value(value, types)
+              for name, value in fields.items()}
+    return cls(**kwargs)
+
+
+def decode_workload(doc: Optional[Dict[str, Any]]) -> Any:
+    """Rebuild a workload config from :func:`encode_workload` output."""
+    if doc is None:
+        return None
+    if not isinstance(doc, dict) or doc.get("__kind__") != "config":
+        raise ValueError("workload document must be a type-tagged config "
+                         "dict (or null)")
+    return _decode_config(doc, _config_types())

@@ -1,0 +1,39 @@
+"""repro.service — the digest-cached simulation run farm.
+
+The reproduction's runs are repetitive: sweeps re-request the same
+(app, params, interface, workload) points across figures, CI re-runs
+the same gates per push, and a RunSpec is deterministic by construction
+(the chaos suite's digest tests prove it).  So the service treats
+results the way the CNI treats transmit pages — cache by content and
+serve repeats from the cache:
+
+* :class:`~repro.service.farm.RunFarm` — the in-process job API
+  (``submit`` / ``submit_batch`` / ``submit_sweep`` / ``status`` /
+  ``result`` / ``cancel``) over a priority queue, dispatching misses
+  through the warm-pool :func:`~repro.harness.run_map` executor;
+* :class:`~repro.service.store.RunStore` — the persistent
+  content-addressed result store (atomic JSON records, LRU index,
+  size cap);
+* :mod:`~repro.service.http` / :class:`~repro.service.client.FarmClient`
+  — a stdlib HTTP front end and client, plus the
+  ``python -m repro.service`` CLI (serve / submit / status / fetch /
+  stats).
+
+See docs/service.md for the API, the store layout, the
+failure-semantics table and the ``service.*`` metric catalog.
+"""
+
+from .client import FarmClient, FarmError
+from .farm import JobState, RunFarm
+from .metrics import SERVICE_METRICS, service_metrics
+from .store import RunStore
+
+__all__ = [
+    "FarmClient",
+    "FarmError",
+    "JobState",
+    "RunFarm",
+    "RunStore",
+    "SERVICE_METRICS",
+    "service_metrics",
+]

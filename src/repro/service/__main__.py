@@ -1,0 +1,166 @@
+"""``python -m repro.service`` — the run-farm command line.
+
+Subcommands::
+
+    serve   start a farm + HTTP front end over a persistent store
+    submit  enqueue one run (flags or a run_spec JSON document)
+    status  print a job's status document
+    fetch   block for a job's result and print the stored record
+    stats   print the farm's stats document
+
+Everything but ``serve`` talks to a running server (``--url``, default
+``http://127.0.0.1:8642``).  Parse and server errors print to stderr
+and exit non-zero.  See docs/service.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .client import DEFAULT_URL, FarmClient, FarmError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="digest-cached simulation run farm")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the farm HTTP server")
+    serve.add_argument("--store", required=True,
+                       help="persistent run-store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="run_map jobs= fan-out per dispatch batch")
+    serve.add_argument("--capacity-mb", type=float, default=None,
+                       help="store size cap in MiB (default unbounded)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+
+    def client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=DEFAULT_URL,
+                       help=f"server base URL (default {DEFAULT_URL})")
+
+    submit = sub.add_parser("submit", help="enqueue one run")
+    client_args(submit)
+    submit.add_argument("--app", help="registered workload name "
+                        "(jacobi, water, ...)")
+    submit.add_argument("--interface", default="cni",
+                        choices=("cni", "standard"))
+    submit.add_argument("--nprocs", type=int, default=4)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--spec-json", metavar="FILE",
+                        help="submit this run_spec document instead of "
+                        "building one from flags ('-' reads stdin)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block for the result and print it")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait timeout in seconds")
+
+    status = sub.add_parser("status", help="print a job's status")
+    client_args(status)
+    status.add_argument("job_id")
+
+    fetch = sub.add_parser("fetch", help="block for a job's result")
+    client_args(fetch)
+    fetch.add_argument("job_id")
+    fetch.add_argument("--timeout", type=float, default=300.0)
+    fetch.add_argument("--out", metavar="FILE",
+                       help="write the record here instead of stdout")
+
+    stats = sub.add_parser("stats", help="print the farm's stats")
+    client_args(stats)
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .farm import RunFarm
+    from .http import serve
+
+    capacity = (None if args.capacity_mb is None
+                else int(args.capacity_mb * 1024 * 1024))
+    farm = RunFarm(store=args.store, workers=args.workers,
+                   capacity_bytes=capacity)
+    print(f"repro.service: serving store {args.store!r} on "
+          f"http://{args.host}:{args.port} "
+          f"(workers={args.workers})", flush=True)
+    serve(farm, host=args.host, port=args.port, verbose=not args.quiet)
+    return 0
+
+
+def _load_spec(args: argparse.Namespace):
+    from ..harness.parallel import RunSpec
+    from ..params import SimParams
+
+    if args.spec_json:
+        text = (sys.stdin.read() if args.spec_json == "-"
+                else open(args.spec_json).read())
+        return RunSpec.from_json(text)
+    if not args.app:
+        raise ValueError("submit needs --app or --spec-json")
+    return RunSpec(args.app,
+                   SimParams().replace(num_processors=args.nprocs),
+                   args.interface)
+
+
+def _print_record(record, out: Optional[str]) -> None:
+    text = record.to_json(indent=2)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = FarmClient(args.url)
+    job_id = client.submit(_load_spec(args), priority=args.priority)
+    print(job_id)
+    if args.wait:
+        _print_record(client.result(job_id, timeout=args.timeout), None)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    print(json.dumps(FarmClient(args.url).status(args.job_id), indent=2))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    record = FarmClient(args.url).result(args.job_id,
+                                         timeout=args.timeout)
+    _print_record(record, args.out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    print(json.dumps(FarmClient(args.url).stats(), indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FarmError, ValueError, TimeoutError, OSError) as exc:
+        print(f"repro.service: error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,376 @@
+"""The run farm: a job API over a priority queue, a digest-keyed store
+and the warm-pool parallel executor.
+
+:class:`RunFarm` is the in-process form of the service (the HTTP front
+end in :mod:`repro.service.http` is a thin adapter over it).  The job
+lifecycle::
+
+    submit(RunSpec) ──> queued ──> running ──> done     (RunStats)
+                          │                └─> failed   (RunFailure /
+                          └──> cancelled                 executor error)
+
+A dispatcher thread drains the priority queue in batches: pop every
+pending job (highest priority first, FIFO within a priority), coalesce
+jobs whose specs share a content digest into one execution, answer
+digests the :class:`~repro.service.store.RunStore` already holds from
+cache, and fan the remaining misses across worker processes through the
+existing warm-pool :func:`~repro.harness.run_map` executor with
+``on_error="record"`` — so a typed simulation error (timeout, dead
+peer, delivery failure; the PR 7 crash-stop semantics) becomes a stored
+:class:`~repro.harness.RunFailure` record served from cache like any
+other result, never a hang and never a dead farm.
+
+Determinism: the farm pins every executed spec's worker-RNG seed to the
+sweep-position-0 seed (a spec's position in a *service* queue is
+scheduling noise, not part of its identity), so the stored
+:class:`~repro.engine.RunStats` digest for a spec is bit-identical to
+``run_map([spec])`` at any ``--jobs`` value — the cache can never
+launder a subtly different result.  tests/service/test_farm.py asserts
+it.
+
+See docs/service.md for the API table and failure semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import tempfile
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..harness.parallel import _SEED_BASE, RunFailure, RunSpec, run_map
+from ..params import SimParams
+from .metrics import (
+    m_batches,
+    m_cancelled,
+    m_coalesced,
+    m_completed,
+    m_failed,
+    m_queue_depth,
+    m_submitted,
+    service_metrics,
+)
+from .store import RunStore
+
+__all__ = ["JobState", "RunFarm"]
+
+
+class JobState:
+    """Job lifecycle states (plain strings — they travel in JSON)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclasses.dataclass
+class _Job:
+    """One submitted job (internal; ``status()`` returns plain data)."""
+
+    job_id: str
+    spec: RunSpec
+    digest: str
+    priority: int
+    seq: int
+    state: str = JobState.QUEUED
+    from_cache: bool = False
+    coalesced: bool = False
+    result: Any = None          # RunStats | RunFailure once resolved
+    error: Optional[str] = None  # untyped executor error / cancellation
+    done: threading.Event = dataclasses.field(
+        default_factory=threading.Event)
+
+    def status_doc(self) -> Dict[str, Any]:
+        doc = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "spec": self.spec.describe(),
+            "digest": self.digest,
+            "priority": self.priority,
+            "from_cache": self.from_cache,
+            "coalesced": self.coalesced,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.result is not None:
+            doc["result_kind"] = ("run_failure"
+                                  if isinstance(self.result, RunFailure)
+                                  else "run_stats")
+            doc["result_digest"] = self.result.digest()
+        return doc
+
+
+def _pin_seed(spec: RunSpec) -> RunSpec:
+    """A spec's executable form: worker-RNG seed fixed to the
+    position-0 value, so results are independent of batch composition
+    and identical to ``run_map([spec])`` (see the module docstring)."""
+    if spec.seed is not None:
+        return spec
+    return dataclasses.replace(spec, seed=_SEED_BASE)
+
+
+class RunFarm:
+    """The in-process simulation run farm (job API + store + pool).
+
+    ``store`` is a :class:`~repro.service.store.RunStore`, a directory
+    path for one, or None for an ephemeral store in a temp directory.
+    ``workers`` is the ``jobs=`` fan-out each dispatch batch hands to
+    :func:`~repro.harness.run_map` (1 executes in-process).  With
+    ``autostart=False`` no dispatcher thread runs and queued jobs only
+    execute on explicit :meth:`step` calls — the deterministic mode the
+    tests and the in-process smoke gate use.
+    """
+
+    def __init__(self, store: Union[RunStore, str, None] = None,
+                 workers: int = 1,
+                 capacity_bytes: Optional[int] = None,
+                 autostart: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"workers={workers} must be >= 1")
+        if isinstance(store, RunStore):
+            if capacity_bytes is not None:
+                raise ValueError("pass capacity_bytes to RunStore, not "
+                                 "to RunFarm, when handing over a store")
+            self.store = store
+        else:
+            if store is None:
+                self._tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-farm-")
+                store = self._tmpdir.name
+            self.store = RunStore(store, capacity_bytes=capacity_bytes)
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: Dict[str, _Job] = {}
+        self._heap: List[Any] = []  # (-priority, seq, job_id)
+        self._seq = itertools.count()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-farm-dispatch",
+                daemon=True)
+            self._thread.start()
+
+    # -- the job API ------------------------------------------------------------
+
+    def submit(self, spec: RunSpec, priority: int = 0) -> str:
+        """Enqueue one run; returns its job id.
+
+        Higher ``priority`` dispatches first; equal priorities dispatch
+        in submission order.  The spec is digested immediately, so a
+        malformed spec fails here, not in a worker.
+        """
+        if not isinstance(spec, RunSpec):
+            raise ValueError(f"submit needs a RunSpec, got "
+                             f"{type(spec).__name__}")
+        digest = spec.digest()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("farm is closed")
+            seq = next(self._seq)
+            job = _Job(job_id=f"job-{seq:06d}", spec=spec, digest=digest,
+                       priority=priority, seq=seq)
+            self._jobs[job.job_id] = job
+            heapq.heappush(self._heap, (-priority, seq, job.job_id))
+            m_submitted.inc()
+            m_queue_depth.set(len(self._heap))
+            self._cond.notify_all()
+        return job.job_id
+
+    def submit_batch(self, specs: Iterable[RunSpec],
+                     priority: int = 0) -> List[str]:
+        """Enqueue several runs; returns their job ids in order."""
+        return [self.submit(spec, priority=priority) for spec in specs]
+
+    def submit_sweep(self, app: str, values: Sequence[Any],
+                     param: str = "num_processors",
+                     base_params: Optional[SimParams] = None,
+                     interface: str = "cni", workload: Any = None,
+                     priority: int = 0) -> List[str]:
+        """Enqueue a one-parameter sweep: one job per value of
+        ``param`` (a :class:`~repro.params.SimParams` field) applied to
+        ``base_params``.  The sweep endpoint of the HTTP API."""
+        if not values:
+            raise ValueError("submit_sweep needs at least one value")
+        base = base_params if base_params is not None else SimParams()
+        specs = [RunSpec(app, base.replace(**{param: value}), interface,
+                         workload=workload)
+                 for value in values]
+        return self.submit_batch(specs, priority=priority)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Plain-data status of one job (KeyError for unknown ids)."""
+        with self._lock:
+            return self._jobs[job_id].status_doc()
+
+    def result(self, job_id: str,
+               timeout: Optional[float] = None) -> Any:
+        """Block until ``job_id`` resolves; return its
+        :class:`~repro.engine.RunStats` or
+        :class:`~repro.harness.RunFailure`.
+
+        Raises KeyError for unknown ids, TimeoutError when ``timeout``
+        seconds pass first, and RuntimeError for jobs that ended with
+        no stored record (cancelled, or an untyped executor error).
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"{job_id} still {job.state} after "
+                               f"{timeout}s")
+        if job.result is not None:
+            return job.result
+        raise RuntimeError(f"{job_id} {job.state}: "
+                           f"{job.error or 'no result'}")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; returns whether it was cancelled
+        (running and finished jobs are not cancellable)."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state != JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.error = "cancelled"
+            m_cancelled.inc()
+            job.done.set()
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Farm-wide summary: job-state counts, queue depth, store
+        occupancy and the full ``service.*`` metrics snapshot."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            depth = len(self._heap)
+        return {
+            "workers": self.workers,
+            "queue_depth": depth,
+            "jobs": states,
+            "store": self.store.stats(),
+            "metrics": service_metrics(),
+        }
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def step(self, max_jobs: Optional[int] = None) -> List[str]:
+        """Synchronously dispatch one batch of queued jobs; returns the
+        processed job ids in pop (priority) order.
+
+        This is the dispatcher thread's body, exposed so an
+        ``autostart=False`` farm is stepped deterministically.
+        """
+        with self._lock:
+            batch = self._pop_batch(max_jobs)
+        if batch:
+            self._process(batch)
+        return [job.job_id for job in batch]
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every currently submitted job has resolved."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if not job.done.wait(timeout):
+                raise TimeoutError(f"{job.job_id} still {job.state} "
+                                   f"after {timeout}s")
+
+    def _pop_batch(self, max_jobs: Optional[int]) -> List[_Job]:
+        """Pop up to ``max_jobs`` live jobs in priority order (caller
+        holds the lock); cancelled entries are discarded lazily."""
+        batch: List[_Job] = []
+        while self._heap and (max_jobs is None or len(batch) < max_jobs):
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs[job_id]
+            if job.state != JobState.QUEUED:
+                continue  # cancelled while queued
+            job.state = JobState.RUNNING
+            batch.append(job)
+        m_queue_depth.set(len(self._heap))
+        if batch:
+            m_batches.inc()
+        return batch
+
+    def _process(self, batch: List[_Job]) -> None:
+        """Coalesce → cache-lookup → execute misses → store → resolve."""
+        groups: "Dict[str, List[_Job]]" = {}
+        for job in batch:
+            group = groups.setdefault(job.digest, [])
+            if group:  # an identical spec is already in this batch
+                job.coalesced = True
+                m_coalesced.inc()
+            group.append(job)
+
+        misses: List[_Job] = []
+        for digest, group in groups.items():
+            cached = self.store.get(digest)
+            if cached is not None:
+                self._resolve(group, cached, from_cache=True)
+            else:
+                misses.append(group[0])
+        if not misses:
+            return
+
+        specs = [_pin_seed(job.spec) for job in misses]
+        try:
+            results = run_map(specs, jobs=self.workers, record=False,
+                              on_error="record")
+        except Exception as exc:  # untyped executor error: fail the
+            # batch's jobs but keep the farm serving (nothing stored —
+            # an untyped error is a bug, not a deterministic result)
+            for job in misses:
+                self._fail_untyped(groups[job.digest], exc)
+            return
+        for job, result in zip(misses, results):
+            self.store.put(job.digest, result)
+            self._resolve(groups[job.digest], result, from_cache=False)
+
+    def _resolve(self, group: List[_Job], result: Any,
+                 from_cache: bool) -> None:
+        failed = isinstance(result, RunFailure)
+        for job in group:
+            job.result = result
+            job.from_cache = from_cache
+            job.state = JobState.FAILED if failed else JobState.DONE
+            (m_failed if failed else m_completed).inc()
+            job.done.set()
+
+    def _fail_untyped(self, group: List[_Job], exc: Exception) -> None:
+        for job in group:
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            m_failed.inc()
+            job.done.set()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._heap:
+                    return
+            self.step()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting jobs, let the dispatcher drain the queue,
+        join it.  Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "RunFarm":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

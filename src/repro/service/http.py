@@ -1,0 +1,195 @@
+"""Stdlib HTTP front end for the run farm.
+
+A thin JSON adapter over :class:`~repro.service.farm.RunFarm` on
+``http.server`` (threading; no framework, no new dependencies), serving
+the same five operations the in-process API exposes::
+
+    POST /api/v1/jobs              {"spec": <run_spec doc>, "priority": 0}
+    POST /api/v1/batch             {"specs": [<run_spec doc>, ...], ...}
+    POST /api/v1/sweep             {"app", "param", "values", ...}
+    GET  /api/v1/jobs/<id>         job status
+    GET  /api/v1/jobs/<id>/result  200 result / 202 still pending
+    POST /api/v1/jobs/<id>/cancel  {"cancelled": bool}
+    GET  /api/v1/stats             farm + store + service.* metrics
+    GET  /api/v1/health            {"ok": true}
+
+Specs travel as the versioned ``run_spec`` documents of
+:meth:`~repro.harness.RunSpec.to_json`; results come back as
+``run_stats`` / ``run_failure`` documents.  Malformed documents (bad
+schema version, unknown params fields, unknown workload types) answer
+``400`` with the validation error — they never reach a worker.  See
+docs/service.md for the full API table and
+:mod:`repro.service.client` / ``python -m repro.service`` for the
+matching client.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..harness.parallel import RunSpec
+from ..params import SimParams
+from .farm import RunFarm
+
+__all__ = ["FarmRequestHandler", "make_server", "serve"]
+
+_JOB_RE = re.compile(r"^/api/v1/jobs/([a-z0-9-]+)(/result|/cancel)?$")
+
+
+class FarmServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` carrying the farm it fronts."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], farm: RunFarm,
+                 verbose: bool = False) -> None:
+        super().__init__(address, FarmRequestHandler)
+        self.farm = farm
+        self.verbose = verbose
+
+
+class FarmRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the attached :class:`RunFarm`."""
+
+    server_version = "repro-farm/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def farm(self) -> RunFarm:
+        return self.server.farm  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _send(self, code: int, doc: Dict[str, Any]) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    # -- routes -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            if self.path == "/api/v1/health":
+                return self._send(200, {"ok": True})
+            if self.path == "/api/v1/stats":
+                return self._send(200, self.farm.stats())
+            m = _JOB_RE.match(self.path)
+            if m and m.group(2) in (None, "/result"):
+                return self._job_get(m.group(1),
+                                     want_result=bool(m.group(2)))
+            self._error(404, f"no route {self.path!r}")
+        except KeyError as exc:
+            self._error(404, f"unknown job {exc.args[0]!r}")
+        except ValueError as exc:
+            self._error(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/api/v1/jobs":
+                return self._submit_one()
+            if self.path == "/api/v1/batch":
+                return self._submit_batch()
+            if self.path == "/api/v1/sweep":
+                return self._submit_sweep()
+            m = _JOB_RE.match(self.path)
+            if m and m.group(2) == "/cancel":
+                return self._send(
+                    200, {"job_id": m.group(1),
+                          "cancelled": self.farm.cancel(m.group(1))})
+            self._error(404, f"no route {self.path!r}")
+        except KeyError as exc:
+            self._error(404, f"unknown job {exc.args[0]!r}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, str(exc))
+
+    def _job_get(self, job_id: str, want_result: bool) -> None:
+        status = self.farm.status(job_id)
+        if not want_result:
+            return self._send(200, status)
+        if status["state"] in ("queued", "running"):
+            return self._send(202, status)  # accepted, come back later
+        if "result_kind" not in status:
+            # cancelled / untyped executor error: terminal, no record
+            return self._send(410, status)
+        result = self.farm.result(job_id, timeout=0)
+        self._send(200, {"status": status,
+                         "result": json.loads(result.to_json())})
+
+    def _submit_one(self) -> None:
+        doc = self._read_json()
+        spec = RunSpec.from_json(doc.get("spec"))
+        job_id = self.farm.submit(spec,
+                                  priority=int(doc.get("priority", 0)))
+        self._send(201, {"job_id": job_id})
+
+    def _submit_batch(self) -> None:
+        doc = self._read_json()
+        specs_doc = doc.get("specs")
+        if not isinstance(specs_doc, list) or not specs_doc:
+            raise ValueError("batch needs a non-empty 'specs' list")
+        specs = [RunSpec.from_json(d) for d in specs_doc]
+        ids = self.farm.submit_batch(specs,
+                                     priority=int(doc.get("priority", 0)))
+        self._send(201, {"job_ids": ids})
+
+    def _submit_sweep(self) -> None:
+        from ..harness.serde import decode_params, decode_workload
+
+        doc = self._read_json()
+        app = doc.get("app")
+        values = doc.get("values")
+        if not app or not isinstance(values, list) or not values:
+            raise ValueError("sweep needs 'app' and a non-empty 'values' "
+                             "list")
+        base = (decode_params(doc["params"]) if doc.get("params")
+                else SimParams())
+        ids = self.farm.submit_sweep(
+            app, values,
+            param=doc.get("param", "num_processors"),
+            base_params=base,
+            interface=doc.get("interface", "cni"),
+            workload=decode_workload(doc.get("workload")),
+            priority=int(doc.get("priority", 0)))
+        self._send(201, {"job_ids": ids})
+
+
+def make_server(farm: RunFarm, host: str = "127.0.0.1", port: int = 0,
+                verbose: bool = False) -> FarmServer:
+    """A bound (not yet serving) farm server; ``port=0`` picks a free
+    port (``server.server_address`` has the real one)."""
+    return FarmServer((host, port), farm, verbose=verbose)
+
+
+def serve(farm: RunFarm, host: str = "127.0.0.1", port: int = 8642,
+          verbose: bool = True) -> None:
+    """Serve ``farm`` until interrupted (the CLI's ``serve`` command)."""
+    server = make_server(farm, host, port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        farm.close()

@@ -1,0 +1,66 @@
+"""The run farm's own ``service.*`` metrics.
+
+One registry per serving process (like the executor's
+``harness.pool.*`` registry in :mod:`repro.harness.parallel`),
+deliberately separate from the per-run simulation registries that ship
+back inside :class:`~repro.engine.RunStats` — the farm observes the
+*traffic* it serves, the runs observe the clusters they simulate.  The
+full catalog is machine-checked against docs/service.md by
+``tools/check_docs_metrics.py``.
+
+All metrics are registered at import, so a snapshot always carries the
+complete name set (zeros included) — what the catalog check and the
+``stats`` endpoints rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..obs import MetricsRegistry
+
+__all__ = ["SERVICE_METRICS", "service_metrics"]
+
+#: The serving process's ``service.*`` registry.
+SERVICE_METRICS = MetricsRegistry()
+
+_scope = SERVICE_METRICS.scope("service")
+_jobs = _scope.scope("jobs")
+
+#: Jobs accepted by ``submit``/``submit_batch``/``submit_sweep``.
+m_submitted = _jobs.counter("submitted")
+#: Jobs resolved with a :class:`~repro.engine.RunStats` (fresh or cached).
+m_completed = _jobs.counter("completed")
+#: Jobs resolved with a :class:`~repro.harness.RunFailure` (typed
+#: simulation error) or an untyped executor error.
+m_failed = _jobs.counter("failed")
+#: Queued jobs cancelled before execution.
+m_cancelled = _jobs.counter("cancelled")
+#: Jobs that piggybacked on another job's identical in-flight execution.
+m_coalesced = _jobs.counter("coalesced")
+
+_store = _scope.scope("store")
+#: Lookups answered from the persistent run store.
+m_store_hits = _store.counter("hits")
+#: Lookups that fell through to the simulator.
+m_store_misses = _store.counter("misses")
+#: Records written (stats + failure records).
+m_store_puts = _store.counter("puts")
+#: Records evicted by the size-capped LRU policy.
+m_store_evictions = _store.counter("evictions")
+#: Current store payload size in bytes (index excluded).
+m_store_bytes = _store.gauge("bytes")
+#: Current record count.
+m_store_entries = _store.gauge("entries")
+
+_queue = _scope.scope("queue")
+#: Current priority-queue depth (jobs accepted, not yet dispatched).
+m_queue_depth = _queue.gauge("depth")
+
+#: Dispatch cycles executed by the farm (one batch of popped jobs each).
+m_batches = _scope.scope("batches").counter("dispatched")
+
+
+def service_metrics() -> Dict[str, Any]:
+    """Flat snapshot of the ``service.*`` registry."""
+    return SERVICE_METRICS.snapshot()

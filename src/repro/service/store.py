@@ -1,0 +1,239 @@
+"""The persistent run store: content-addressed results on disk.
+
+This is the service's Message Cache.  The CNI puts a cache of pages in
+front of the host-memory DMA because transmit traffic is repetitive;
+the run farm puts a cache of *results* in front of the simulator
+because request traffic is repetitive (Jain's destination-locality
+observation, PAPERS.md): a :class:`~repro.harness.RunSpec` is hashed to
+its content digest (:meth:`RunSpec.digest` — everything that determines
+the result, nothing that doesn't), and an identical spec submitted
+again is answered with the stored, bit-identical
+:class:`~repro.engine.RunStats` instead of being re-simulated.
+
+Layout under the store root::
+
+    <root>/index.json                 # versioned LRU index (atomic)
+    <root>/objects/<dd>/<digest>.json # one versioned record per result
+
+Records are the ``run_stats`` / ``run_failure`` JSON documents
+(:meth:`RunStats.to_json` / :meth:`RunFailure.to_json`) — failures are
+first-class cache entries: a spec that deterministically dies with a
+typed error is served its :class:`~repro.harness.RunFailure` from cache
+exactly like a healthy run is served its stats.
+
+Guarantees:
+
+* **atomic writes** — every file (records and the index) is written to
+  a temp name in the same directory and ``os.replace``d into place, so
+  a killed process never leaves a torn record;
+* **size-capped LRU** — ``capacity_bytes`` bounds the payload bytes;
+  inserting past the cap evicts least-recently-*used* records (a hit
+  refreshes recency).  The newest record itself is never evicted;
+* **versioned** — the index and every record carry a
+  ``schema_version``; any unknown version raises :class:`ValueError`
+  instead of being misread;
+* **thread-safe** — one lock around index mutation; the farm's
+  dispatcher and the HTTP front end's request threads share a store.
+
+See docs/service.md for the failure-semantics table and the
+``service.store.*`` metric catalog.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..engine import RunStats
+from ..harness.parallel import RunFailure
+from .metrics import (
+    m_store_bytes,
+    m_store_entries,
+    m_store_evictions,
+    m_store_hits,
+    m_store_misses,
+    m_store_puts,
+)
+
+__all__ = ["RunStore"]
+
+#: Format version of ``index.json``.
+INDEX_SCHEMA_VERSION = 1
+
+StoredResult = Union[RunStats, RunFailure]
+
+
+def _atomic_write(path: str, text: str) -> int:
+    """Write ``text`` to ``path`` via a same-directory temp file and
+    ``os.replace`` (atomic on POSIX); returns the byte count."""
+    data = text.encode("utf-8")
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+    return len(data)
+
+
+class RunStore:
+    """Digest-keyed persistent cache of run results (LRU, size-capped).
+
+    ``capacity_bytes=None`` (default) means unbounded; the farm's CLI
+    exposes it as ``--capacity-mb``.  All mutation updates the
+    ``service.store.*`` metrics (docs/service.md).
+    """
+
+    def __init__(self, root: str,
+                 capacity_bytes: Optional[int] = None) -> None:
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError(f"capacity_bytes={capacity_bytes} must be "
+                             f">= 1 (or None for unbounded)")
+        self.root = root
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.RLock()
+        #: digest -> record size in bytes; ordered least- to
+        #: most-recently used.
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        os.makedirs(os.path.join(root, "objects"), exist_ok=True)
+        self._load_index()
+        self._publish_gauges()
+
+    # -- the index --------------------------------------------------------------
+
+    @property
+    def _index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def _object_path(self, digest: str) -> str:
+        return os.path.join(self.root, "objects", digest[:2],
+                            f"{digest}.json")
+
+    def _load_index(self) -> None:
+        try:
+            with open(self._index_path) as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return
+        if (not isinstance(doc, dict)
+                or doc.get("kind") != "run_store_index"):
+            raise ValueError(f"{self._index_path}: not a run_store_index "
+                             "document")
+        version = doc.get("schema_version")
+        if version != INDEX_SCHEMA_VERSION:
+            raise ValueError(
+                f"{self._index_path}: unsupported schema_version "
+                f"{version!r}; this build reads version "
+                f"{INDEX_SCHEMA_VERSION}")
+        for digest, nbytes in doc.get("entries", []):
+            self._index[digest] = int(nbytes)
+
+    def _save_index(self) -> None:
+        doc = {
+            "kind": "run_store_index",
+            "schema_version": INDEX_SCHEMA_VERSION,
+            "entries": [[d, n] for d, n in self._index.items()],
+        }
+        _atomic_write(self._index_path, json.dumps(doc))
+
+    def _publish_gauges(self) -> None:
+        m_store_bytes.set(sum(self._index.values()))
+        m_store_entries.set(len(self._index))
+
+    # -- cache operations -------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[StoredResult]:
+        """The stored result for ``digest``, or None (counts a miss).
+
+        A hit refreshes the record's LRU recency.  A record the index
+        promises but the filesystem lost (manual deletion) degrades to
+        a miss and is dropped from the index.
+        """
+        with self._lock:
+            if digest not in self._index:
+                m_store_misses.inc()
+                return None
+            try:
+                with open(self._object_path(digest)) as fh:
+                    doc = json.load(fh)
+            except (FileNotFoundError, json.JSONDecodeError):
+                del self._index[digest]
+                self._save_index()
+                self._publish_gauges()
+                m_store_misses.inc()
+                return None
+            self._index.move_to_end(digest)
+            self._save_index()
+            m_store_hits.inc()
+        return self._decode(digest, doc)
+
+    @staticmethod
+    def _decode(digest: str, doc: Any) -> StoredResult:
+        kind = doc.get("kind") if isinstance(doc, dict) else None
+        if kind == "run_stats":
+            return RunStats.from_json(doc)
+        if kind == "run_failure":
+            return RunFailure.from_json(doc)
+        raise ValueError(f"store record {digest}: unknown document "
+                         f"kind {kind!r}")
+
+    def put(self, digest: str, result: StoredResult) -> None:
+        """Store ``result`` under ``digest`` (idempotent), then evict
+        least-recently-used records past ``capacity_bytes``."""
+        if not isinstance(result, (RunStats, RunFailure)):
+            raise ValueError(f"cannot store a {type(result).__name__}; "
+                             "expected RunStats or RunFailure")
+        text = result.to_json()
+        with self._lock:
+            path = self._object_path(digest)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            nbytes = _atomic_write(path, text)
+            self._index[digest] = nbytes
+            self._index.move_to_end(digest)
+            m_store_puts.inc()
+            self._evict_over_capacity()
+            self._save_index()
+            self._publish_gauges()
+
+    def _evict_over_capacity(self) -> None:
+        if self.capacity_bytes is None:
+            return
+        while (len(self._index) > 1
+               and sum(self._index.values()) > self.capacity_bytes):
+            victim, _ = next(iter(self._index.items()))
+            del self._index[victim]
+            try:
+                os.remove(self._object_path(victim))
+            except FileNotFoundError:
+                pass
+            m_store_evictions.inc()
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes currently stored (index file excluded)."""
+        with self._lock:
+            return sum(self._index.values())
+
+    def digests(self) -> Tuple[str, ...]:
+        """Stored digests, least- to most-recently used."""
+        with self._lock:
+            return tuple(self._index)
+
+    def stats(self) -> Dict[str, Any]:
+        """Plain-data summary for the ``stats`` endpoints."""
+        with self._lock:
+            return {
+                "root": self.root,
+                "entries": len(self._index),
+                "bytes": sum(self._index.values()),
+                "capacity_bytes": self.capacity_bytes,
+            }

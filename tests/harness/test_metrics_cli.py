@@ -68,11 +68,11 @@ def test_metrics_cli_writes_json(tmp_path, capsys):
     assert any(k.endswith("rx.host_interrupts") for k in doc["metrics"])
 
 
-def test_metrics_cli_rejects_unknown_app_and_args():
+def test_metrics_cli_rejects_unknown_app_and_args(capsys):
     with pytest.raises(SystemExit):
         metrics_main(["--app", "doom"], QUICK)
-    with pytest.raises(SystemExit):
-        metrics_main(["--frobnicate"], QUICK)
+    assert metrics_main(["--frobnicate"], QUICK) == 2
+    assert "--frobnicate" in capsys.readouterr().err
 
 
 # -- runner --metrics ----------------------------------------------------------

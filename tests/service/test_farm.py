@@ -1,0 +1,248 @@
+"""The run farm: the cache-hit acceptance guarantee, priority order,
+same-spec coalescing, jobs-count-independent digests, failure records,
+cancellation and lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.apps import JacobiConfig
+from repro.faults import FaultPlan, NodeCrash
+from repro.harness import RunFailure, RunSpec, run_map, shutdown_pool
+from repro.params import SimParams
+from repro.service import JobState, RunFarm, RunStore, service_metrics
+
+
+def tiny_spec(nprocs=2, iface="cni", n=16):
+    return RunSpec("jacobi", SimParams().replace(num_processors=nprocs),
+                   iface, workload=JacobiConfig(n=n, iterations=2))
+
+
+def crash_spec():
+    """A spec that deterministically dies with a typed error (the PR 7
+    crash-stop path): node 1 crashes, the deadline fires."""
+    params = SimParams().replace(
+        num_processors=2, reliable_transport=True,
+        op_deadline_ns=20_000_000.0, runtime_send_retries=1,
+        fault_plan=FaultPlan(seed=5, schedules=(
+            NodeCrash(node=1, at_ns=200_000.0),)))
+    return RunSpec("jacobi", params, "cni",
+                   workload=JacobiConfig(n=16, iterations=1))
+
+
+def metric(name):
+    return service_metrics()[name]
+
+
+@pytest.fixture
+def farm(tmp_path):
+    with RunFarm(store=str(tmp_path), workers=1,
+                 autostart=False) as farm:
+        yield farm
+
+
+# -- the acceptance guarantee --------------------------------------------------
+
+def test_identical_spec_twice_executes_once_with_identical_digest(farm):
+    """ISSUE 9's gate: resubmitting an identical RunSpec executes the
+    simulation once; the second job is served from the store with a
+    bit-identical RunStats digest and service.store.hits increments."""
+    spec = tiny_spec()
+    hits0, puts0 = metric("service.store.hits"), \
+        metric("service.store.puts")
+    first = farm.submit(spec)
+    farm.step()
+    second = farm.submit(tiny_spec())  # equal by value, not identity
+    farm.step()
+    r1, r2 = farm.result(first), farm.result(second)
+    assert r1.digest() == r2.digest()
+    assert farm.status(first)["from_cache"] is False
+    assert farm.status(second)["from_cache"] is True
+    assert metric("service.store.hits") == hits0 + 1
+    assert metric("service.store.puts") == puts0 + 1  # one execution
+
+
+def test_cached_digest_matches_plain_run_map(farm):
+    """The store can never launder a different result: a farm-served
+    RunStats is bit-identical to run_map([spec]) (seed pinning)."""
+    spec = tiny_spec()
+    job = farm.submit(spec)
+    farm.step()
+    assert farm.result(job).digest() == \
+        run_map([spec], jobs=1, record=False)[0].digest()
+
+
+def test_cached_digest_independent_of_workers(tmp_path, monkeypatch):
+    """A workers=2 farm (forced process pool) stores the same digest a
+    workers=1 farm computes — --jobs is performance, never identity."""
+    monkeypatch.setenv("REPRO_POOL_FORCE", "1")
+    specs = [tiny_spec(nprocs=1), tiny_spec(nprocs=2)]
+    digests = {}
+    try:
+        for workers in (1, 2):
+            with RunFarm(store=str(tmp_path / str(workers)),
+                         workers=workers, autostart=False) as farm:
+                ids = farm.submit_batch(specs)
+                farm.step()
+                digests[workers] = [farm.result(i).digest()
+                                    for i in ids]
+    finally:
+        shutdown_pool()
+    assert digests[1] == digests[2]
+
+
+# -- queue semantics -----------------------------------------------------------
+
+def test_priority_order_fifo_within_priority(farm):
+    low = farm.submit(tiny_spec(nprocs=1), priority=0)
+    high1 = farm.submit(tiny_spec(nprocs=2), priority=5)
+    high2 = farm.submit(tiny_spec(nprocs=4), priority=5)
+    assert farm.step() == [high1, high2, low]
+
+
+def test_same_batch_coalesces_to_one_execution(farm):
+    coalesced0, puts0 = metric("service.jobs.coalesced"), \
+        metric("service.store.puts")
+    ids = farm.submit_batch([tiny_spec(), tiny_spec(), tiny_spec()])
+    farm.step()
+    assert metric("service.store.puts") == puts0 + 1
+    assert metric("service.jobs.coalesced") == coalesced0 + 2
+    digests = {farm.result(i).digest() for i in ids}
+    assert len(digests) == 1
+    flags = [farm.status(i)["coalesced"] for i in ids]
+    assert flags == [False, True, True]
+
+
+def test_concurrent_same_spec_submissions_execute_once(tmp_path):
+    """Threaded clients racing the dispatcher on one spec still cost
+    one simulation: any job not coalesced into the first batch is a
+    store hit."""
+    puts0 = metric("service.store.puts")
+    with RunFarm(store=str(tmp_path), workers=1) as farm:
+        ids = []
+        lock = threading.Lock()
+
+        def client():
+            job = farm.submit(tiny_spec())
+            with lock:
+                ids.append(job)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = [farm.result(i, timeout=60) for i in ids]
+    assert len({r.digest() for r in results}) == 1
+    assert metric("service.store.puts") == puts0 + 1
+
+
+def test_cancel_queued_job(farm):
+    cancelled0 = metric("service.jobs.cancelled")
+    job = farm.submit(tiny_spec())
+    assert farm.cancel(job) is True
+    assert farm.status(job)["state"] == JobState.CANCELLED
+    assert metric("service.jobs.cancelled") == cancelled0 + 1
+    assert farm.step() == []  # lazily discarded, never executed
+    with pytest.raises(RuntimeError, match="cancelled"):
+        farm.result(job)
+    assert farm.cancel(job) is False  # not cancellable twice
+
+
+def test_sweep_enqueues_one_job_per_value(farm):
+    ids = farm.submit_sweep("jacobi", [1, 2],
+                            workload=JacobiConfig(n=16, iterations=1))
+    farm.step()
+    assert [len(farm.result(i).per_processor) for i in ids] == [1, 2]
+
+
+# -- failure semantics ---------------------------------------------------------
+
+def test_typed_failure_is_stored_and_served_from_cache(farm):
+    failed0 = metric("service.jobs.failed")
+    first = farm.submit(crash_spec())
+    farm.step()
+    r1 = farm.result(first)
+    assert isinstance(r1, RunFailure)
+    assert farm.status(first)["state"] == JobState.FAILED
+    assert metric("service.jobs.failed") == failed0 + 1
+
+    second = farm.submit(crash_spec())
+    farm.step()
+    r2 = farm.result(second)
+    assert farm.status(second)["from_cache"] is True
+    assert r2.digest() == r1.digest()
+
+
+def test_untyped_executor_error_fails_jobs_but_not_the_farm(
+        farm, monkeypatch):
+    def boom(*args, **kwargs):
+        raise OSError("pool exploded")
+
+    monkeypatch.setattr("repro.service.farm.run_map", boom)
+    job = farm.submit(tiny_spec())
+    farm.step()
+    assert farm.status(job)["state"] == JobState.FAILED
+    assert "pool exploded" in farm.status(job)["error"]
+    with pytest.raises(RuntimeError, match="pool exploded"):
+        farm.result(job)
+    assert farm.status(job)["digest"] not in farm.store  # bugs aren't cached
+
+    monkeypatch.undo()
+    retry = farm.submit(tiny_spec())  # the farm still serves
+    farm.step()
+    assert farm.status(retry)["state"] == JobState.DONE
+
+
+# -- lifecycle and edges -------------------------------------------------------
+
+def test_result_timeout_and_unknown_ids(farm):
+    job = farm.submit(tiny_spec())
+    with pytest.raises(TimeoutError):
+        farm.result(job, timeout=0.01)
+    with pytest.raises(KeyError):
+        farm.status("job-999999")
+    with pytest.raises(KeyError):
+        farm.result("job-999999")
+
+
+def test_submit_validates(farm):
+    with pytest.raises(ValueError, match="RunSpec"):
+        farm.submit("jacobi")
+    with pytest.raises(ValueError, match="at least one value"):
+        farm.submit_sweep("jacobi", [])
+
+
+def test_closed_farm_rejects_submissions(tmp_path):
+    farm = RunFarm(store=str(tmp_path), autostart=False)
+    farm.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        farm.submit(tiny_spec())
+
+
+def test_autostart_dispatcher_drains_without_step(tmp_path):
+    with RunFarm(store=str(tmp_path), workers=1) as farm:
+        job = farm.submit(tiny_spec())
+        stats = farm.result(job, timeout=60)
+        assert stats.elapsed_ns > 0
+        farm.drain(timeout=60)
+
+
+def test_handed_over_store_rejects_duplicate_capacity(tmp_path):
+    store = RunStore(str(tmp_path), capacity_bytes=1 << 20)
+    with pytest.raises(ValueError, match="capacity_bytes"):
+        RunFarm(store=store, capacity_bytes=1 << 10)
+    with RunFarm(store=store, autostart=False) as farm:
+        assert farm.store is store
+
+
+def test_stats_shape(farm):
+    job = farm.submit(tiny_spec())
+    farm.step()
+    doc = farm.stats()
+    assert doc["workers"] == 1
+    assert doc["queue_depth"] == 0
+    assert doc["jobs"][JobState.DONE] >= 1
+    assert doc["store"]["entries"] >= 1
+    assert "service.store.hits" in doc["metrics"]
+    assert farm.result(job)  # still resolvable after stats()

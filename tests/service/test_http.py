@@ -1,0 +1,153 @@
+"""The HTTP front end, the urllib client and the ``python -m
+repro.service`` CLI, exercised against a real in-process server on an
+ephemeral port."""
+
+import json
+import threading
+
+import pytest
+
+from repro.apps import JacobiConfig
+from repro.harness import RunSpec
+from repro.params import SimParams
+from repro.service import FarmClient, FarmError, RunFarm
+from repro.service.__main__ import main as service_main
+from repro.service.http import make_server
+
+
+def tiny_spec(nprocs=2):
+    return RunSpec("jacobi", SimParams().replace(num_processors=nprocs),
+                   "cni", workload=JacobiConfig(n=16, iterations=2))
+
+
+@pytest.fixture
+def served_farm(tmp_path):
+    farm = RunFarm(store=str(tmp_path), workers=1)
+    server = make_server(farm)  # port 0: ephemeral
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    try:
+        yield FarmClient(f"http://{host}:{port}"), farm
+    finally:
+        server.shutdown()
+        server.server_close()
+        farm.close()
+
+
+def test_submit_status_result_round_trip(served_farm):
+    client, _ = served_farm
+    assert client.health() is True
+    job = client.submit(tiny_spec())
+    stats = client.result(job, timeout=60)
+    assert stats.elapsed_ns > 0
+    doc = client.status(job)
+    assert doc["state"] == "done"
+    assert doc["result_digest"] == stats.digest()
+
+
+def test_second_submission_is_a_cache_hit_over_http(served_farm):
+    client, _ = served_farm
+    first = client.result(client.submit(tiny_spec()), timeout=60)
+    job = client.submit(tiny_spec())
+    second = client.result(job, timeout=60)
+    assert second.digest() == first.digest()
+    assert client.status(job)["from_cache"] is True
+    assert client.stats()["metrics"]["service.store.hits"] >= 1
+
+
+def test_batch_and_sweep_endpoints(served_farm):
+    client, _ = served_farm
+    batch = client.submit_batch([tiny_spec(1), tiny_spec(2)])
+    assert len(batch) == 2
+    sweep = client.submit_sweep(
+        "jacobi", [1, 2], workload=JacobiConfig(n=16, iterations=1))
+    for job in batch + sweep:
+        client.result(job, timeout=60)
+
+
+def test_cancel_endpoint(served_farm):
+    client, farm = served_farm
+    # submit at low priority behind a running batch so it stays queued
+    # long enough to cancel; a False return is also legal if dispatch won
+    job = client.submit(tiny_spec(4))
+    cancelled = client.cancel(job)
+    state = client.status(job)["state"]
+    assert cancelled is (state == "cancelled")
+
+
+def test_malformed_spec_is_a_400(served_farm):
+    client, _ = served_farm
+    with pytest.raises(FarmError) as info:
+        client.submit({"kind": "run_spec", "schema_version": 99})
+    assert info.value.status == 400
+    assert "schema_version" in info.value.message
+
+
+def test_unknown_job_and_route_are_404(served_farm):
+    client, _ = served_farm
+    with pytest.raises(FarmError) as info:
+        client.status("job-999999")
+    assert info.value.status == 404
+    with pytest.raises(FarmError) as info:
+        client._request("GET", "/api/v1/nope")
+    assert info.value.status == 404
+
+
+def test_cancelled_job_result_is_410(served_farm):
+    client, farm = served_farm
+    job = farm.submit(tiny_spec(8), priority=-100)
+    if not farm.cancel(job):
+        pytest.skip("dispatcher won the race; nothing left to cancel")
+    with pytest.raises(FarmError) as info:
+        client.result(job, timeout=5)
+    assert info.value.status == 410
+
+
+# -- the CLI -------------------------------------------------------------------
+
+def test_cli_submit_status_fetch_stats(served_farm, tmp_path, capsys):
+    client, _ = served_farm
+    url = client.base_url
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(tiny_spec().to_json())
+
+    assert service_main(["submit", "--url", url,
+                         "--spec-json", str(spec_path)]) == 0
+    job = capsys.readouterr().out.strip()
+    assert job.startswith("job-")
+
+    out_path = tmp_path / "result.json"
+    assert service_main(["fetch", job, "--url", url,
+                         "--out", str(out_path)]) == 0
+    record = json.loads(out_path.read_text())
+    assert record["kind"] == "run_stats"
+
+    assert service_main(["status", job, "--url", url]) == 0
+    assert json.loads(capsys.readouterr().out)["state"] == "done"
+
+    assert service_main(["stats", "--url", url]) == 0
+    assert "service.store.puts" in capsys.readouterr().out
+
+
+def test_cli_submit_by_flags(served_farm, capsys):
+    client, _ = served_farm
+    assert service_main(["submit", "--url", client.base_url,
+                         "--app", "jacobi", "--nprocs", "2",
+                         "--wait"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("job-")
+    assert '"kind": "run_stats"' in out
+
+
+def test_cli_errors_exit_nonzero(served_farm, capsys):
+    client, _ = served_farm
+    assert service_main(["submit", "--url", client.base_url]) == 1
+    assert "--app or --spec-json" in capsys.readouterr().err
+    assert service_main(["status", "job-999999",
+                         "--url", client.base_url]) == 1
+    assert "unknown job" in capsys.readouterr().err
+    # connection refused: unreachable server is an error, not a hang
+    assert service_main(["stats", "--url",
+                         "http://127.0.0.1:9"]) == 1
+    assert "error" in capsys.readouterr().err

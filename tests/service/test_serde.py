@@ -1,0 +1,159 @@
+"""JSON round trips for run documents: RunSpec, RunStats, RunFailure,
+SimParams and workload configs — plus the forward-compat guarantee that
+unknown schema versions and unknown fields are rejected, never
+misread."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import CholeskyConfig, JacobiConfig, WaterConfig
+from repro.apps.matrices import bcsstk14_like
+from repro.engine import RunStats
+from repro.faults import FaultPlan, NodeCrash
+from repro.harness import RunFailure, RunSpec, run_map
+from repro.harness.serde import (
+    decode_params,
+    decode_workload,
+    encode_params,
+    encode_workload,
+)
+from repro.params import SimParams
+
+
+def tiny_spec(**spec_kwargs):
+    return RunSpec("jacobi", SimParams().replace(num_processors=2),
+                   "cni", workload=JacobiConfig(n=16, iterations=2),
+                   **spec_kwargs)
+
+
+# -- SimParams -----------------------------------------------------------------
+
+def test_params_round_trip():
+    params = SimParams().replace(num_processors=8,
+                                 reliable_transport=True,
+                                 op_deadline_ns=5e6)
+    assert decode_params(encode_params(params)) == params
+
+
+def test_params_round_trip_with_fault_plan():
+    plan = FaultPlan(seed=7,
+                     schedules=(NodeCrash(node=1, at_ns=1000.0),))
+    params = SimParams().replace(fault_plan=plan,
+                                 reliable_transport=True)
+    doc = encode_params(params)
+    assert isinstance(doc["fault_plan"], str)  # travels as grammar text
+    back = decode_params(doc)
+    assert back.fault_plan.describe() == plan.describe()
+
+
+def test_params_unknown_field_rejected():
+    doc = encode_params(SimParams())
+    doc["warp_factor"] = 9
+    with pytest.raises(ValueError, match="warp_factor"):
+        decode_params(doc)
+
+
+# -- workload configs ----------------------------------------------------------
+
+@pytest.mark.parametrize("config", [
+    JacobiConfig(n=24, iterations=3),
+    WaterConfig(n_molecules=8, steps=1),
+])
+def test_simple_config_round_trip(config):
+    assert decode_workload(encode_workload(config)) == config
+
+
+def test_cholesky_config_round_trips_numpy_band_storage():
+    config = CholeskyConfig(matrix=bcsstk14_like(scale=0.03),
+                            supernode=4)
+    back = decode_workload(encode_workload(config))
+    assert type(back) is CholeskyConfig
+    assert back.supernode == config.supernode
+    assert back.matrix.n == config.matrix.n
+    assert np.array_equal(back.matrix.bands, config.matrix.bands)
+    assert back.matrix.bands.dtype == config.matrix.bands.dtype
+
+
+def test_workload_none_passes_through():
+    assert encode_workload(None) is None
+    assert decode_workload(None) is None
+
+
+def test_unknown_config_type_rejected():
+    doc = {"__kind__": "config", "type": "EvilConfig", "fields": {}}
+    with pytest.raises(ValueError, match="EvilConfig"):
+        decode_workload(doc)
+
+
+def test_unknown_config_field_rejected():
+    doc = encode_workload(JacobiConfig(n=16, iterations=1))
+    doc["fields"]["blast_radius"] = 3
+    with pytest.raises(ValueError, match="blast_radius"):
+        decode_workload(doc)
+
+
+# -- RunSpec -------------------------------------------------------------------
+
+def test_run_spec_round_trip_preserves_digest():
+    spec = tiny_spec(meta=(("label", "t1"),))
+    back = RunSpec.from_json(spec.to_json())
+    assert back.digest() == spec.digest()
+    assert back.app == spec.app and back.interface == spec.interface
+    assert back.meta == spec.meta
+    assert back.params == spec.params
+
+
+def test_run_spec_digest_ignores_meta():
+    assert tiny_spec(meta=(("label", "a"),)).digest() == \
+        tiny_spec(meta=(("label", "b"),)).digest()
+
+
+def test_run_spec_unknown_schema_version_rejected():
+    doc = json.loads(tiny_spec().to_json())
+    doc["schema_version"] = 99
+    with pytest.raises(ValueError, match="schema_version 99"):
+        RunSpec.from_json(doc)
+    doc.pop("schema_version")
+    with pytest.raises(ValueError, match="schema_version"):
+        RunSpec.from_json(doc)
+
+
+def test_run_spec_wrong_kind_rejected():
+    with pytest.raises(ValueError, match="run_spec"):
+        RunSpec.from_json({"kind": "run_stats", "schema_version": 1})
+
+
+# -- RunStats ------------------------------------------------------------------
+
+def test_run_stats_round_trip_is_bit_identical():
+    stats = run_map([tiny_spec()], jobs=1, record=False)[0]
+    back = RunStats.from_json(stats.to_json())
+    assert back.digest() == stats.digest()
+    assert back.metric_kinds == stats.metric_kinds
+    assert len(back.per_processor) == len(stats.per_processor)
+
+
+def test_run_stats_unknown_schema_version_rejected():
+    doc = json.loads(run_map([tiny_spec()], jobs=1,
+                             record=False)[0].to_json())
+    doc["schema_version"] = 2
+    with pytest.raises(ValueError, match="schema_version 2"):
+        RunStats.from_json(doc)
+
+
+# -- RunFailure ----------------------------------------------------------------
+
+def test_run_failure_round_trip_preserves_digest():
+    failure = RunFailure("spec", "RuntimeTimeout", "node 1 dead")
+    back = RunFailure.from_json(failure.to_json())
+    assert back == failure
+    assert back.digest() == failure.digest()
+
+
+def test_run_failure_unknown_schema_version_rejected():
+    doc = json.loads(RunFailure("s", "E", "m").to_json())
+    doc["schema_version"] = 42
+    with pytest.raises(ValueError, match="schema_version 42"):
+        RunFailure.from_json(doc)

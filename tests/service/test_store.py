@@ -1,0 +1,129 @@
+"""The persistent run store: hit/miss accounting, LRU eviction under a
+byte cap, persistence across reopen, atomicity of the on-disk layout
+and index schema versioning."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import RunStats
+from repro.engine.stats import Category, TimeAccount
+from repro.harness import RunFailure
+from repro.service import RunStore, service_metrics
+from repro.service.store import INDEX_SCHEMA_VERSION
+
+
+def make_stats(tag, pad=0):
+    """A small synthetic RunStats distinguishable by ``tag`` (``pad``
+    inflates the record's on-disk size for capacity tests)."""
+    stats = RunStats(elapsed_ns=float(len(tag)))
+    stats.counters.inc(f"tag_{tag}")
+    if pad:
+        stats.metrics["pad"] = "x" * pad
+    account = TimeAccount()
+    account.add(Category.COMPUTATION, 1.0)
+    stats.per_processor.append(account)
+    return stats
+
+
+def metric(name):
+    return service_metrics()[name]
+
+
+def test_miss_then_hit(tmp_path):
+    store = RunStore(str(tmp_path))
+    misses0, hits0 = metric("service.store.misses"), \
+        metric("service.store.hits")
+    assert store.get("d" * 64) is None
+    assert metric("service.store.misses") == misses0 + 1
+
+    stats = make_stats("a")
+    store.put("d" * 64, stats)
+    back = store.get("d" * 64)
+    assert back.digest() == stats.digest()
+    assert metric("service.store.hits") == hits0 + 1
+    assert "d" * 64 in store and len(store) == 1
+
+
+def test_failure_records_are_first_class(tmp_path):
+    store = RunStore(str(tmp_path))
+    failure = RunFailure("spec", "RuntimeTimeout", "node 1 dead")
+    store.put("f" * 64, failure)
+    back = store.get("f" * 64)
+    assert isinstance(back, RunFailure)
+    assert back == failure
+
+
+def test_put_rejects_non_results(tmp_path):
+    with pytest.raises(ValueError, match="dict"):
+        RunStore(str(tmp_path)).put("a" * 64, {"not": "a result"})
+
+
+def test_lru_eviction_respects_recency_and_spares_newest(tmp_path):
+    one = make_stats("one", pad=400)
+    nbytes = len(one.to_json().encode())
+    store = RunStore(str(tmp_path), capacity_bytes=2 * nbytes + 10)
+    store.put("a" * 64, one)
+    store.put("b" * 64, make_stats("two", pad=400))
+    # refresh "a": now "b" is the least-recently-used record
+    assert store.get("a" * 64) is not None
+    evictions0 = metric("service.store.evictions")
+    store.put("c" * 64, make_stats("three", pad=400))
+    assert store.digests() == ("a" * 64, "c" * 64)
+    assert metric("service.store.evictions") == evictions0 + 1
+    assert store.get("b" * 64) is None  # evicted -> miss
+    assert store.total_bytes <= store.capacity_bytes
+
+
+def test_oversized_record_alone_is_never_evicted(tmp_path):
+    store = RunStore(str(tmp_path), capacity_bytes=1)
+    store.put("a" * 64, make_stats("big", pad=1000))
+    assert len(store) == 1  # newest record survives any cap
+    store.put("b" * 64, make_stats("big2", pad=1000))
+    assert store.digests() == ("b" * 64,)
+
+
+def test_persistence_across_reopen(tmp_path):
+    stats = make_stats("persist")
+    RunStore(str(tmp_path)).put("a" * 64, stats)
+    reopened = RunStore(str(tmp_path))
+    assert len(reopened) == 1
+    assert reopened.get("a" * 64).digest() == stats.digest()
+
+
+def test_unknown_index_schema_version_rejected(tmp_path):
+    store = RunStore(str(tmp_path))
+    store.put("a" * 64, make_stats("x"))
+    index_path = os.path.join(str(tmp_path), "index.json")
+    with open(index_path) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == INDEX_SCHEMA_VERSION
+    doc["schema_version"] = 99
+    with open(index_path, "w") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError, match="schema_version 99"):
+        RunStore(str(tmp_path))
+
+
+def test_lost_object_degrades_to_miss(tmp_path):
+    store = RunStore(str(tmp_path))
+    store.put("a" * 64, make_stats("x"))
+    os.remove(os.path.join(str(tmp_path), "objects", "aa",
+                           "a" * 64 + ".json"))
+    assert store.get("a" * 64) is None
+    assert "a" * 64 not in store  # index entry dropped too
+
+
+def test_stats_document(tmp_path):
+    store = RunStore(str(tmp_path), capacity_bytes=1 << 20)
+    store.put("a" * 64, make_stats("x"))
+    doc = store.stats()
+    assert doc["entries"] == 1
+    assert doc["bytes"] == store.total_bytes > 0
+    assert doc["capacity_bytes"] == 1 << 20
+
+
+def test_capacity_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="capacity_bytes"):
+        RunStore(str(tmp_path), capacity_bytes=0)

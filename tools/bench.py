@@ -24,7 +24,12 @@ Measures three things on a fixed, pinned workload set:
   docs/runtime.md);
 * **heartbeat overhead** — the pinned Jacobi run with the failure
   detector's heartbeats off vs on; the off arm is regression-gated so
-  the reliability stack stays free when disabled (docs/reliability.md).
+  the reliability stack stays free when disabled (docs/reliability.md);
+* **service cache throughput** — a pinned batch submitted to the run
+  farm twice against a fresh store: cold jobs/sec (simulate + store)
+  vs warm-hit jobs/sec (digest + index + JSON decode only); the warm
+  path is regression-gated — it is what makes re-running a sweep cheap
+  (docs/service.md).
 
 Results land in ``BENCH_<date>.json`` at the repo root, establishing a
 perf trajectory across PRs.  ``--check OLD.json`` compares the current
@@ -62,6 +67,7 @@ CHECKED_METRICS = (
     ("experiments.total_s", False),
     ("messaging.msgs_per_sec", True),
     ("heartbeat.off_events_per_sec", True),
+    ("service.warm_hits_per_sec", True),
 )
 
 #: Absolute floor for ``parallel.speedup`` when >= 2 effective cores are
@@ -309,6 +315,61 @@ def _time_heartbeat_overhead(smoke: bool) -> Dict[str, Any]:
     return out
 
 
+def _time_service_cache(smoke: bool) -> Dict[str, Any]:
+    """Cold vs warm-cache throughput of the run farm (docs/service.md).
+
+    A pinned batch goes into a farm over a fresh temp store twice: the
+    cold pass simulates and stores, the warm passes must be pure store
+    hits.  The warm pass repeats a few times so the per-hit cost
+    (digest lookup + index bump + JSON decode) is timed over enough
+    work to be stable; ``all_hits`` is asserted, so the arm doubles as
+    the cache-correctness smoke."""
+    import tempfile
+
+    from repro.apps import JacobiConfig
+    from repro.harness import RunSpec
+    from repro.params import SimParams
+    from repro.service import RunFarm
+
+    points, warm_rounds = (4, 3) if smoke else (8, 5)
+    cfg = JacobiConfig(n=16, iterations=1) if smoke \
+        else JacobiConfig(n=32, iterations=2)
+    specs = [RunSpec("jacobi", SimParams().replace(num_processors=p),
+                     iface, cfg)
+             for p in (1, 2, 4, 8)[:max(1, points // 2)]
+             for iface in ("cni", "standard")][:points]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-farm-") as root:
+        with RunFarm(store=root, workers=1, autostart=False) as farm:
+            ids = farm.submit_batch(specs)
+            t0 = time.perf_counter()
+            farm.step()
+            cold_s = time.perf_counter() - t0
+            warm_ids: List[str] = []
+            t0 = time.perf_counter()
+            for _ in range(warm_rounds):
+                warm_ids.extend(farm.submit_batch(specs))
+                farm.step()
+            warm_s = time.perf_counter() - t0
+            all_hits = all(farm.status(i)["from_cache"]
+                           for i in warm_ids)
+            digests_match = all(
+                farm.result(w).digest() == farm.result(c).digest()
+                for w, c in zip(warm_ids, ids * warm_rounds))
+    warm_jobs = len(warm_ids)
+    return {
+        "workload": f"jacobi n={cfg.n} iters={cfg.iterations} "
+                    f"x{points} points",
+        "points": points,
+        "warm_jobs": warm_jobs,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_jobs_per_sec": points / cold_s if cold_s > 0 else 0.0,
+        "warm_hits_per_sec": warm_jobs / warm_s if warm_s > 0 else 0.0,
+        "all_hits": all_hits,
+        "digests_match": digests_match,
+    }
+
+
 def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     """Run every arm; return the BENCH document (sans date stamp)."""
     jobs = jobs or (os.cpu_count() or 1)
@@ -354,6 +415,16 @@ def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     d = doc["dispatch"]
     print(f"[bench]   {d['overhead_per_point_ms']:.2f} ms/point "
           f"({d['points_per_sec']:,.0f} points/s through the pool)")
+    print("[bench] service cache: cold vs warm-hit jobs/sec ...")
+    doc["service"] = _time_service_cache(smoke)
+    s = doc["service"]
+    print(f"[bench]   cold {s['cold_jobs_per_sec']:,.1f} jobs/s -> warm "
+          f"{s['warm_hits_per_sec']:,.0f} hits/s "
+          f"(all_hits={s['all_hits']}, "
+          f"digests_match={s['digests_match']})")
+    if not (s["all_hits"] and s["digests_match"]):
+        raise SystemExit("[bench] FATAL: warm farm pass was not served "
+                         "bit-identically from the store")
     from repro.harness import shutdown_pool
     shutdown_pool()
     return doc

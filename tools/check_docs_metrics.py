@@ -3,10 +3,11 @@
 
 Extracts every backticked dotted metric name between the
 ``<!-- metric-catalog:start -->`` / ``<!-- metric-catalog:end -->``
-markers in docs/observability.md and docs/runtime.md (the
-``runtime.*`` scope is cataloged next to its subsystem), smoke-runs the
-simulator (a CNI cluster, a standard cluster, and two messaging
-microbenchmarks — the union exercises every subsystem), and fails if
+markers in docs/observability.md, docs/runtime.md and docs/service.md
+(the ``runtime.*`` and ``service.*`` scopes are cataloged next to
+their subsystems), smoke-runs the simulator (a CNI cluster, a standard
+cluster, two messaging microbenchmarks, and a run-farm cache round
+trip — the union exercises every subsystem), and fails if
 
 * any documented name was never registered (stale docs), or
 * any registered name outside the run-dependent ``cluster.*`` mirror is
@@ -29,8 +30,9 @@ from typing import Set, Tuple
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOC_PATH = os.path.join(REPO_ROOT, "docs", "observability.md")
 RUNTIME_DOC_PATH = os.path.join(REPO_ROOT, "docs", "runtime.md")
+SERVICE_DOC_PATH = os.path.join(REPO_ROOT, "docs", "service.md")
 #: Every docs page carrying a marker-delimited metric catalog.
-CATALOG_DOCS = (DOC_PATH, RUNTIME_DOC_PATH)
+CATALOG_DOCS = (DOC_PATH, RUNTIME_DOC_PATH, SERVICE_DOC_PATH)
 START = "<!-- metric-catalog:start -->"
 END = "<!-- metric-catalog:end -->"
 
@@ -109,6 +111,21 @@ def registered_names() -> Set[str]:
         else:
             os.environ["REPRO_POOL_FORCE"] = forced_before
     names.update(pool_metrics())
+    # One run-farm cache round trip (miss -> execute -> hit) so the
+    # service.* scope is exercised, not merely registered at import.
+    import tempfile
+
+    from repro.service import RunFarm, service_metrics
+
+    with tempfile.TemporaryDirectory(prefix="repro-docscheck-") as root:
+        with RunFarm(store=root, workers=1, autostart=False) as farm:
+            spec = RunSpec("jacobi",
+                           SimParams().replace(num_processors=1),
+                           "cni", tiny)
+            for _ in range(2):
+                farm.submit(spec)
+                farm.step()
+    names.update(service_metrics())
     return {_NODE_RE.sub("node0.", n) for n in names}
 
 
@@ -130,7 +147,8 @@ def main() -> int:
             print(f"  {name}")
     if undocumented:
         print("registered but missing from the docs metric catalogs "
-              "(docs/observability.md, docs/runtime.md):")
+              "(docs/observability.md, docs/runtime.md, "
+              "docs/service.md):")
         for name in sorted(undocumented):
             print(f"  {name}")
     if stale or undocumented:

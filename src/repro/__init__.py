@@ -36,6 +36,7 @@ from .collectives import CollectiveError
 from .core import DeliveryFailed
 from .engine import Category, Counters, RunStats, TimeAccount
 from .faults import FaultPlan
+from .network import Topology, TopologyError
 from .params import PAPER_PARAMS, SimParams, cni_params, standard_interface_params
 from .runtime import Cluster, Context, MessagingService
 
@@ -58,6 +59,8 @@ __all__ = [
     "RunStats",
     "SimParams",
     "TimeAccount",
+    "Topology",
+    "TopologyError",
     "TransposeConfig",
     "WaterConfig",
     "cni_params",

@@ -9,6 +9,7 @@ and traffic go without setting up a full experiment::
     python -m repro.harness metrics --app water --nprocs 8
     python -m repro.harness metrics --interface standard
     python -m repro.harness metrics --json out/metrics.json
+    python -m repro.harness metrics --topology torus:2x2     # net.* fabric view
 
 See docs/observability.md for what each column (and every exported
 metric) means.
@@ -46,7 +47,8 @@ def _take(argv: List[str], name: str) -> Optional[str]:
     return None
 
 
-def run_metrics_workload(app: str, interface: str, nprocs: int, scale):
+def run_metrics_workload(app: str, interface: str, nprocs: int, scale,
+                         topology: Optional[str] = None):
     """Run the representative workload; returns its RunStats."""
     from ..apps import run
     from .runner import _chol14
@@ -58,8 +60,8 @@ def run_metrics_workload(app: str, interface: str, nprocs: int, scale):
     }
     if app not in configs:
         raise SystemExit(f"unknown app {app!r} (jacobi, water or cholesky)")
-    return run(app, SimParams().replace(num_processors=nprocs),
-               interface, configs[app]())[0]
+    params = SimParams().replace(num_processors=nprocs, topology=topology)
+    return run(app, params, interface, configs[app]())[0]
 
 
 def metrics_main(argv: List[str], scale) -> int:
@@ -76,6 +78,15 @@ def metrics_main(argv: List[str], scale) -> int:
         print(f"--nprocs: {nprocs_arg!r}: {exc}", file=sys.stderr)
         return 2
     json_path = _take(argv, "--json")
+    topology = _take(argv, "--topology")
+    if topology is not None:
+        from ..network.spec import parse_topology
+
+        try:
+            parse_topology(topology)
+        except ValueError as exc:
+            print(f"--topology: {exc}", file=sys.stderr)
+            return 2
     if argv:
         print(f"unrecognized arguments: {' '.join(argv)}",
               file=sys.stderr)
@@ -85,7 +96,12 @@ def metrics_main(argv: List[str], scale) -> int:
               file=sys.stderr)
         return 2
 
-    stats = run_metrics_workload(app, interface, nprocs, scale)
+    try:
+        stats = run_metrics_workload(app, interface, nprocs, scale,
+                                     topology=topology)
+    except ValueError as exc:
+        print(f"--topology: {exc}", file=sys.stderr)
+        return 2
     snapshot = stats.metrics
     title = (f"per-node metrics — {app}, {interface} interface, "
              f"{nprocs} processors ({scale.name} scale)")
@@ -101,6 +117,8 @@ def metrics_main(argv: List[str], scale) -> int:
             os.makedirs(directory, exist_ok=True)
         meta = {"app": app, "interface": interface, "nprocs": nprocs,
                 "scale": scale.name}
+        if topology is not None:
+            meta["topology"] = topology
         with open(json_path, "w") as fh:
             fh.write(snapshot_to_json(snapshot, meta=meta))
         print(f"\nwrote {json_path}")

@@ -78,10 +78,18 @@ _SEED_BASE = 0x5EED_C0DE
 
 #: Format version of the ``run_spec`` / ``run_failure`` JSON documents
 #: (:meth:`RunSpec.to_json`).  Bump on any incompatible change to the
-#: document shape; ``from_json`` rejects every other version outright —
+#: document shape; ``from_json`` rejects versions it does not read —
 #: a store written by a different format must fail loudly, not be
 #: half-read (docs/service.md).
-RUN_DOC_SCHEMA_VERSION = 1
+#:
+#: Version 2 added ``params.topology`` (the fabric spec string).  A
+#: run_spec with no topology still *emits* version 1 — byte-identical
+#: to a pre-topology document, so content-addressed RunStore keys for
+#: legacy runs are stable across the upgrade — and readers accept both.
+RUN_DOC_SCHEMA_VERSION = 2
+
+#: Document versions :func:`_check_doc` accepts on read.
+_READABLE_SCHEMA_VERSIONS = (1, RUN_DOC_SCHEMA_VERSION)
 
 
 def _check_doc(doc: Any, kind: str) -> Dict[str, Any]:
@@ -91,10 +99,10 @@ def _check_doc(doc: Any, kind: str) -> Dict[str, Any]:
     if not isinstance(doc, dict) or doc.get("kind") != kind:
         raise ValueError(f"not a {kind} document")
     version = doc.get("schema_version")
-    if version != RUN_DOC_SCHEMA_VERSION:
+    if version not in _READABLE_SCHEMA_VERSIONS:
         raise ValueError(
             f"unsupported {kind} schema_version {version!r}; this build "
-            f"reads version {RUN_DOC_SCHEMA_VERSION}")
+            f"reads versions {list(_READABLE_SCHEMA_VERSIONS)}")
     return doc
 
 #: Module-wide default worker count used when ``run_map(jobs=None)``.
@@ -215,15 +223,23 @@ class RunSpec:
                 f"/p{self.params.num_processors}")
 
     def to_doc(self) -> Dict[str, Any]:
-        """The spec as a versioned, JSON-ready document (plain data)."""
+        """The spec as a versioned, JSON-ready document (plain data).
+
+        Topology-free specs declare schema version 1: they contain
+        nothing a version-1 reader cannot decode, and emitting the old
+        version keeps their canonical bytes — and therefore their
+        content-addressed :meth:`digest` — identical to pre-topology
+        documents."""
         from .serde import encode_params, encode_workload
 
+        params_doc = encode_params(self.params)
+        version = 1 if "topology" not in params_doc else RUN_DOC_SCHEMA_VERSION
         return {
             "kind": "run_spec",
-            "schema_version": RUN_DOC_SCHEMA_VERSION,
+            "schema_version": version,
             "app": self.app,
             "interface": self.interface,
-            "params": encode_params(self.params),
+            "params": params_doc,
             "workload": encode_workload(self.workload),
             "seed": self.seed,
             "meta": [[k, v] for k, v in self.meta],
@@ -297,10 +313,14 @@ class RunFailure:
         return h.hexdigest()
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Versioned JSON form (the run-farm store's failure records)."""
+        """Versioned JSON form (the run-farm store's failure records).
+
+        Still version 1: the failure document's shape did not change
+        when ``params.topology`` arrived (the spec travels here only as
+        its ``describe()`` string)."""
         return json.dumps({
             "kind": "run_failure",
-            "schema_version": RUN_DOC_SCHEMA_VERSION,
+            "schema_version": 1,
             "spec_desc": self.spec_desc,
             "error_type": self.error_type,
             "message": self.message,

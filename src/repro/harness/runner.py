@@ -22,12 +22,16 @@ Usage::
     python -m repro.harness collectives                 # NIC vs host engines
     python -m repro.harness fig4 --collectives host     # force an engine
     python -m repro.harness fig2 --fault-plan 'seed=7;cell_loss(rate=0.01)'
+    python -m repro.harness fig2 --topology torus:4x4        # pick a fabric
 
 ``--jobs N`` fans an experiment's independent simulation runs across N
 worker processes (default: all cores; results are bit-identical at any
 N — see docs/parallel_runs.md).  ``--fault-plan SPEC`` injects faults
 into any experiment (and enables the reliable transport so runs survive
 them); see :func:`repro.faults.parse_fault_plan` for the grammar.
+``--topology SPEC`` selects the fabric every run is wired to
+(``banyan:32``, ``fattree:k=4``, ``torus:4x4x4[:adaptive]`` — see
+docs/network.md).
 
 Experiment text output is also appended to
 ``results/<scale>_scale_results.txt`` (gitignored), the artifact
@@ -394,6 +398,7 @@ def main(argv: List[str] = None) -> int:
     jobs_arg = _take_option(argv, "--jobs")
     deadline_arg = _take_option(argv, "--deadline-ns")
     heartbeat_arg = _take_option(argv, "--heartbeat-ns")
+    topology_arg = _take_option(argv, "--topology")
     results_dir = _take_option(argv, "--results") or "results"
     from .parallel import set_default_jobs
 
@@ -444,6 +449,24 @@ def main(argv: List[str] = None) -> int:
         base_params = (base_params or SimParams()).replace(
             heartbeat_interval_ns=heartbeat_ns)
         print(f"heartbeat interval: {heartbeat_ns:.0f} ns")
+    if topology_arg:
+        from ..network.spec import parse_topology
+
+        try:
+            spec = parse_topology(topology_arg)
+            base = base_params or SimParams()
+            # Experiments set num_processors per point, so clamp the
+            # base to the fabric's capacity here; a point that asks for
+            # more nodes than the fabric attaches still fails its own
+            # validation with the "does not fit" message.
+            base_params = base.replace(
+                topology=topology_arg,
+                num_processors=min(base.num_processors, spec.capacity))
+        except ValueError as exc:
+            print(f"--topology: {exc}", file=sys.stderr)
+            return 1
+        print(f"fabric topology: {spec.canonical()} "
+              f"({spec.capacity} attachment points)")
     scale = PAPER if (full or os.environ.get("REPRO_FULL") == "1") else QUICK
     if not argv:
         print(__doc__)
@@ -452,7 +475,11 @@ def main(argv: List[str] = None) -> int:
     if argv[0] == "metrics":
         from .metrics_cli import metrics_main
 
-        return metrics_main(argv[1:], scale)
+        # The metrics subcommand builds its own params from --nprocs;
+        # hand the already-validated spec through rather than binding
+        # it to this driver's base_params.
+        extra = ["--topology", topology_arg] if topology_arg else []
+        return metrics_main(argv[1:] + extra, scale)
     ids = sorted(EXPERIMENTS) if argv == ["all"] else argv
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:

@@ -48,12 +48,20 @@ _PARAM_FIELDS = {f.name for f in dataclasses.fields(SimParams)}
 
 
 def encode_params(params: SimParams) -> Dict[str, Any]:
-    """``SimParams`` as a flat JSON dict (fault plan as grammar text)."""
+    """``SimParams`` as a flat JSON dict (fault plan as grammar text).
+
+    ``topology`` is omitted entirely when None: a spec on the default
+    single-switch fabric must encode byte-for-byte like a pre-topology
+    document, so every content-addressed RunStore key for legacy runs
+    survives the schema growing the field.
+    """
     doc: Dict[str, Any] = {}
     for name in _PARAM_FIELDS:
         value = getattr(params, name)
         if name == "fault_plan":
             value = None if value is None else value.describe()
+        elif name == "topology" and value is None:
+            continue
         doc[name] = value
     return doc
 

@@ -15,6 +15,7 @@ resources; cut-through adds the Table 1 switch latency of 500 ns.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Generator, List, Sequence, Tuple
 
 from ..engine import Resource, Simulator
@@ -78,7 +79,7 @@ class BanyanFabric:
             raise ValueError(f"port {p} out of range 0..{self.ports - 1}")
 
 
-class BanyanSwitch:
+class SingleSwitch:
     """Timed switch: banyan routing + cut-through latency + contention.
 
     Timing model: a cell train cuts through with the fixed 500 ns switch
@@ -87,14 +88,21 @@ class BanyanSwitch:
     concurrent trains to one port queue FIFO.  (Internal-link contention
     is second-order once output queueing is modelled and is exposed via
     :class:`BanyanFabric` for analysis.)
+
+    This is the timing core of the default single-switch fabric; build
+    it through :class:`repro.network.BanyanTopology` (or a ``Network``)
+    rather than directly — the old direct-construction name
+    :class:`BanyanSwitch` is a deprecated shim over this class.
     """
 
-    def __init__(self, sim: Simulator, params: SimParams):
+    def __init__(self, sim: Simulator, params: SimParams,
+                 ports: int = None):
         self.sim = sim
         self.params = params
-        self.fabric = BanyanFabric(params.switch_ports)
+        self.fabric = BanyanFabric(
+            params.switch_ports if ports is None else ports)
         self._out_ports = [
-            Resource(sim, f"swport{i}") for i in range(params.switch_ports)
+            Resource(sim, f"swport{i}") for i in range(self.fabric.ports)
         ]
         self.trains_switched = 0
         self.cells_switched = 0
@@ -122,3 +130,26 @@ class BanyanSwitch:
     def output_queue_length(self, port: int) -> int:
         """Trains currently waiting on ``port`` (diagnostics)."""
         return self._out_ports[port].queue_length
+
+
+class BanyanSwitch(SingleSwitch):
+    """Deprecated direct-construction entry point for the single switch.
+
+    Behaviour is bit-identical to :class:`SingleSwitch` (it *is* one);
+    constructing it directly emits a :class:`DeprecationWarning` because
+    the supported way to get a fabric is the topology layer::
+
+        from repro.network import Network          # or
+        from repro.network.fabrics import build_topology
+
+    both of which honour ``SimParams.topology`` (docs/network.md).
+    """
+
+    def __init__(self, sim: Simulator, params: SimParams,
+                 ports: int = None):
+        warnings.warn(
+            "direct BanyanSwitch construction is deprecated; build the "
+            "fabric through repro.network.Network (SimParams.topology) "
+            "or repro.network.fabrics.build_topology()",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(sim, params, ports)

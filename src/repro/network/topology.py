@@ -1,12 +1,21 @@
-"""Cluster interconnect: nodes wired to one banyan switch.
+"""Cluster interconnect: nodes wired to a pluggable fabric topology.
 
-Timing model for a packet of ``n`` cells from node *s* to node *d*
-(cut-through everywhere, so serialization is charged exactly once, at the
-switch output port where many-to-one contention physically queues):
+``SimParams.topology`` selects the fabric (``banyan:32``,
+``fattree:k=4``, ``torus:4x4x4`` — the grammar in
+:mod:`repro.network.spec`); ``None``, the default, is the paper's single
+banyan switch with the exact pre-topology-layer timing.  Timing model
+for a packet of ``n`` cells from node *s* to node *d* on the default
+fabric (cut-through everywhere, so serialization is charged exactly
+once, at the switch output port where many-to-one contention physically
+queues):
 
     wire (150 ns)  ->  switch cut-through (500 ns)
                    ->  output-port serialization (n x 681.7 ns, FIFO)
                    ->  wire (150 ns)  ->  destination NIC rx queue
+
+Multi-hop fabrics replace the middle leg with the per-hop walk documented
+in :mod:`repro.network.fabrics` (per-link rates, FIFO output queueing,
+input-port head-of-line blocking); the two host wires stay here.
 
 The sending NIC's transmit processor is itself a serial simulated
 process, which provides source-side serialization of back-to-back sends
@@ -22,21 +31,19 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 from ..engine import Mailbox, Simulator
 from ..params import SimParams
 from .cell import AtmCell, CellTrain, Packet
-from .switch import BanyanSwitch
+from .fabrics import Topology, build_topology
+from .spec import TopologyError
 
 
 class Network:
     """The cluster fabric: delivery of cell trains between NICs."""
 
     def __init__(self, sim: Simulator, params: SimParams):
-        if params.num_processors > params.switch_ports:
-            raise ValueError(
-                f"{params.num_processors} nodes exceed the "
-                f"{params.switch_ports}-port switch"
-            )
         self.sim = sim
         self.params = params
-        self.switch = BanyanSwitch(sim, params)
+        #: The routed fabric (:mod:`repro.network.fabrics`); construction
+        #: validates the spec and that every node has an attachment point.
+        self.topology: Topology = build_topology(sim, params)
         #: One inbound mailbox of :class:`CellTrain` per node (the NIC's
         #: receive processor drains it).
         self.rx_queues: List[Mailbox] = [
@@ -115,7 +122,7 @@ class Network:
         if p.dst_node == p.src_node:
             raise ValueError("loopback traffic never enters the fabric")
         yield self.params.wire_latency_ns
-        yield from self.switch.transit(
+        yield from self.topology.transit(
             p.src_node, p.dst_node, train.n_cells, p.wire_bytes
         )
         yield self.params.wire_latency_ns
@@ -157,7 +164,7 @@ class Network:
         if packet.dst_node == packet.src_node:
             raise ValueError("loopback traffic never enters the fabric")
         yield self.params.wire_latency_ns
-        yield from self.switch.transit(
+        yield from self.topology.transit(
             packet.src_node, packet.dst_node, len(cells), packet.wire_bytes
         )
         yield self.params.wire_latency_ns
@@ -189,9 +196,33 @@ class Network:
         return None
 
     def min_transit_ns(self, wire_bytes: int) -> float:
-        """Uncontended fabric latency for a packet of ``wire_bytes``."""
+        """Uncontended best-case fabric latency for ``wire_bytes``
+        (nearest node pair on multi-hop fabrics)."""
         return (
             2 * self.params.wire_latency_ns
-            + self.params.switch_latency_ns
-            + self.params.train_wire_time_ns(wire_bytes)
+            + self.topology.min_transit_ns(wire_bytes)
         )
+
+    def register_metrics(self, scope) -> None:
+        """Register the ``net.*`` catalog (docs/network.md) on ``scope``:
+        delivery totals here plus the fabric's congestion counters."""
+        scope.counter("trains_delivered", fn=lambda: self.trains_delivered)
+        scope.counter("cells_delivered", fn=lambda: self.cells_delivered)
+        self.topology.register_metrics(scope)
+
+    @property
+    def switch(self):
+        """Deprecated: the underlying single switch, when the fabric is a
+        banyan.  Route through :attr:`topology` instead — multi-hop
+        fabrics have no single switch and raise :class:`TopologyError`
+        here."""
+        warnings.warn(
+            "Network.switch is deprecated; use Network.topology (the "
+            "banyan fabric exposes the timed switch as topology.switch)",
+            DeprecationWarning, stacklevel=2)
+        inner = getattr(self.topology, "switch", None)
+        if inner is None:
+            raise TopologyError(
+                f"the {self.topology.describe()} fabric has no single "
+                "switch; route through Network.topology")
+        return inner

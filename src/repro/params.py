@@ -269,6 +269,18 @@ class SimParams:
     with AIH, host-based otherwise.  See docs/collectives.md."""
 
     # --------------------------------------------------------------- cluster
+    topology: Optional[str] = None
+    """Fabric topology spec (``repro.network.spec`` grammar):
+    ``banyan:32`` a single banyan switch, ``fattree:k=4`` a three-level
+    fat-tree of banyan elements, ``torus:4x4x4[:adaptive]`` an
+    APEnet+-style torus with dimension-order or minimal-adaptive routing
+    (docs/network.md).  None (default) is the paper's machine — a
+    ``switch_ports``-port banyan with the exact legacy timing and *no*
+    ``net.*`` metric scope, which keeps every pre-topology run's
+    ``RunStats`` digest bit-identical.  Any explicit spec (including
+    ``banyan:32``) routes through the topology layer and registers the
+    ``net.*`` catalog."""
+
     num_processors: int = 8
     """Workstations in the cluster (one application thread per node)."""
 
@@ -436,6 +448,17 @@ class SimParams:
             raise ValueError(
                 f"collectives={self.collectives!r} must be None, 'nic' "
                 "or 'host'")
+        if self.topology is not None:
+            # Light parser, no fabric/engine imports (repro.network.spec
+            # is import-cycle-free by design).
+            from .network.spec import parse_topology
+
+            spec = parse_topology(self.topology)
+            if spec.capacity < self.num_processors:
+                raise ValueError(
+                    f"topology {spec.canonical()!r} attaches "
+                    f"{spec.capacity} node(s); num_processors="
+                    f"{self.num_processors} does not fit")
         if self.fault_plan is not None:
             validate = getattr(self.fault_plan, "validate", None)
             activate = getattr(self.fault_plan, "activate", None)

@@ -86,6 +86,13 @@ class Cluster:
         self.metrics.add_probe(self._sync_cluster_counters)
 
         self.network = Network(self.sim, params)
+        # Fabric metrics (net.*, docs/network.md) register only when a
+        # topology is explicitly selected: the params.topology=None
+        # default must keep the metric snapshot — and therefore every
+        # legacy RunStats digest — bit-identical to the pre-topology
+        # layer.
+        if params.topology is not None:
+            self.network.register_metrics(self.metrics.scope("net"))
         # Fault-injection damage per destination node (zero on a clean
         # fabric; registered unconditionally so the catalog is stable).
         net = self.network

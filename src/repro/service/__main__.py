@@ -52,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--interface", default="cni",
                         choices=("cni", "standard"))
     submit.add_argument("--nprocs", type=int, default=4)
+    submit.add_argument("--topology", default=None, metavar="SPEC",
+                        help="fabric topology (banyan:32, fattree:k=4, "
+                        "torus:4x4x4[:adaptive]; default: the paper's "
+                        "single banyan switch)")
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--spec-json", metavar="FILE",
                         help="submit this run_spec document instead of "
@@ -102,9 +106,9 @@ def _load_spec(args: argparse.Namespace):
         return RunSpec.from_json(text)
     if not args.app:
         raise ValueError("submit needs --app or --spec-json")
-    return RunSpec(args.app,
-                   SimParams().replace(num_processors=args.nprocs),
-                   args.interface)
+    params = SimParams().replace(num_processors=args.nprocs,
+                                 topology=args.topology)
+    return RunSpec(args.app, params, args.interface)
 
 
 def _print_record(record, out: Optional[str]) -> None:

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import Simulator
-from repro.network import BanyanFabric, BanyanSwitch
+from repro.network import BanyanFabric, SingleSwitch
 from repro.params import SimParams
 
 
@@ -86,7 +86,7 @@ def test_path_wires_in_range_property(inp, outp):
 def test_transit_uncontended_latency():
     sim = Simulator()
     params = SimParams()
-    sw = BanyanSwitch(sim, params)
+    sw = SingleSwitch(sim, params)
 
     def proc():
         yield from sw.transit(0, 1, 10, 480)
@@ -101,7 +101,7 @@ def test_transit_uncontended_latency():
 def test_transit_output_port_contention():
     sim = Simulator()
     params = SimParams()
-    sw = BanyanSwitch(sim, params)
+    sw = SingleSwitch(sim, params)
     done = []
 
     def proc(tag, inport):
@@ -119,7 +119,7 @@ def test_transit_output_port_contention():
 def test_transit_different_ports_parallel():
     sim = Simulator()
     params = SimParams()
-    sw = BanyanSwitch(sim, params)
+    sw = SingleSwitch(sim, params)
     done = []
 
     def proc(tag, outport):
@@ -134,7 +134,7 @@ def test_transit_different_ports_parallel():
 
 def test_transit_validates_train():
     sim = Simulator()
-    sw = BanyanSwitch(sim, SimParams())
+    sw = SingleSwitch(sim, SimParams())
 
     def proc():
         yield from sw.transit(0, 1, 0, 0)
@@ -146,7 +146,7 @@ def test_transit_validates_train():
 def test_unrestricted_serialization_by_bytes():
     sim = Simulator()
     params = SimParams().replace(unrestricted_cell_size=True)
-    sw = BanyanSwitch(sim, params)
+    sw = SingleSwitch(sim, params)
 
     def proc():
         yield from sw.transit(0, 1, 1, 4096)

@@ -1,0 +1,115 @@
+"""Topology through the run-document serde layer.
+
+Two compatibility promises:
+
+* a spec on the default single-switch fabric (``topology=None``)
+  serializes **byte-identically** to a pre-topology document — same
+  schema version 1, no ``topology`` key, same content-addressed digest;
+* a spec with an explicit fabric declares schema version 2, round-trips
+  exactly, and unknown topology grammar is rejected on decode, never
+  guessed at.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import JacobiConfig
+from repro.harness import RunFailure, RunSpec
+from repro.harness.parallel import RUN_DOC_SCHEMA_VERSION
+from repro.harness.serde import decode_params, encode_params
+from repro.params import SimParams
+
+
+def spec_for(topology=None):
+    params = SimParams().replace(num_processors=4, topology=topology)
+    return RunSpec("jacobi", params, "cni",
+                   workload=JacobiConfig(n=16, iterations=2))
+
+
+# -- legacy byte-compatibility -------------------------------------------------
+
+def test_default_fabric_doc_has_no_topology_key():
+    doc = spec_for().to_doc()
+    assert "topology" not in doc["params"]
+    assert doc["schema_version"] == 1
+
+
+def test_default_fabric_digest_matches_pre_topology_layout():
+    """Rebuild the document a version-1 writer would have produced (no
+    topology field existed) and check the digest is the same: RunStore
+    keys for legacy runs survive the upgrade."""
+    spec = spec_for()
+    doc = spec.to_doc()
+    legacy = json.loads(json.dumps(doc))  # deep copy
+    assert legacy == doc  # nothing topology-shaped to strip
+    back = RunSpec.from_json(json.dumps(doc))
+    assert back.digest() == spec.digest()
+    assert back.params.topology is None
+
+
+def test_explicit_banyan_differs_from_default_in_doc_only():
+    """banyan:32 simulates the identical machine but is a *different*
+    spec document (and digest): the operator asked for the topology
+    layer, and the run it names carries net.* metrics."""
+    default, banyan = spec_for(), spec_for("banyan:32")
+    assert default.digest() != banyan.digest()
+    assert banyan.to_doc()["params"]["topology"] == "banyan:32"
+
+
+# -- versioning ----------------------------------------------------------------
+
+@pytest.mark.parametrize("topology", [
+    "banyan:8", "fattree:k=4", "torus:4x4x4", "torus:2x2:adaptive",
+])
+def test_topology_spec_declares_version_2(topology):
+    doc = spec_for(topology).to_doc()
+    assert doc["schema_version"] == RUN_DOC_SCHEMA_VERSION == 2
+
+
+@pytest.mark.parametrize("topology", [
+    "fattree:k=4", "torus:4x4", "torus:2x2x2:adaptive",
+])
+def test_topology_round_trips_with_digest(topology):
+    spec = spec_for(topology)
+    back = RunSpec.from_json(spec.to_json())
+    assert back.params.topology == topology
+    assert back.digest() == spec.digest()
+
+
+def test_run_failure_still_emits_version_1():
+    # failures gained no topology-shaped fields; their docs are frozen
+    doc = json.loads(RunFailure("s", "E", "m").to_json())
+    assert doc["schema_version"] == 1
+
+
+# -- rejection -----------------------------------------------------------------
+
+def test_unknown_topology_kind_rejected_on_decode():
+    doc = encode_params(SimParams().replace(num_processors=4,
+                                            topology="torus:2x2"))
+    doc["topology"] = "hypercube:5"
+    with pytest.raises(ValueError, match="hypercube"):
+        decode_params(doc)
+
+
+def test_malformed_topology_rejected_on_decode():
+    doc = encode_params(SimParams().replace(num_processors=4,
+                                            topology="torus:2x2"))
+    doc["topology"] = "torus:0x4"
+    with pytest.raises(ValueError):
+        decode_params(doc)
+
+
+def test_oversubscribed_topology_rejected_on_decode():
+    doc = encode_params(SimParams().replace(num_processors=4,
+                                            topology="torus:2x2"))
+    doc["num_processors"] = 9
+    with pytest.raises(ValueError, match="does not fit"):
+        decode_params(doc)
+
+
+def test_params_round_trip_preserves_topology():
+    params = SimParams().replace(num_processors=16,
+                                 topology="fattree:k=4")
+    assert decode_params(encode_params(params)) == params

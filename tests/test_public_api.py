@@ -54,6 +54,8 @@ def test_top_level_all_is_the_source_of_truth():
         "RunStats",
         "SimParams",
         "TimeAccount",
+        "Topology",
+        "TopologyError",
         "TransposeConfig",
         "WaterConfig",
         "cni_params",

@@ -29,7 +29,12 @@ Measures three things on a fixed, pinned workload set:
   farm twice against a fresh store: cold jobs/sec (simulate + store)
   vs warm-hit jobs/sec (digest + index + JSON decode only); the warm
   path is regression-gated — it is what makes re-running a sweep cheap
-  (docs/service.md).
+  (docs/service.md);
+* **topology crossings/sec** — one pinned all-reduce per fabric
+  (banyan, fat-tree, torus at 64 nodes in full mode) timing switch
+  crossings/sec through the pluggable topology layer
+  (docs/network.md); the banyan arm is regression-gated since it is
+  the paper's machine behind the new interface.
 
 Results land in ``BENCH_<date>.json`` at the repo root, establishing a
 perf trajectory across PRs.  ``--check OLD.json`` compares the current
@@ -68,6 +73,7 @@ CHECKED_METRICS = (
     ("messaging.msgs_per_sec", True),
     ("heartbeat.off_events_per_sec", True),
     ("service.warm_hits_per_sec", True),
+    ("topologies.banyan.crossings_per_sec", True),
 )
 
 #: Absolute floor for ``parallel.speedup`` when >= 2 effective cores are
@@ -370,6 +376,55 @@ def _time_service_cache(smoke: bool) -> Dict[str, Any]:
     }
 
 
+def _time_topologies(smoke: bool) -> Dict[str, Any]:
+    """One pinned all-reduce per fabric; switch crossings/sec through
+    the topology layer (docs/network.md).
+
+    Full mode runs the acceptance-scale machines — 64 nodes on a
+    ``fattree:k=8`` and a ``torus:4x4x4`` — next to a 64-port banyan;
+    smoke shrinks everything to 8 nodes.  ``net.crossings`` counts every
+    switch element a train traverses, so crossings/sec is the hot-loop
+    throughput of the fabric walk itself, comparable across fabrics.
+    """
+    from repro.apps import CollBenchConfig
+    from repro.harness import RunSpec, execute_run
+    from repro.params import SimParams
+
+    if smoke:
+        nodes, rounds = 8, 2
+        fabrics = (("banyan", "banyan:8"), ("fattree", "fattree:k=4"),
+                   ("torus", "torus:2x2x2"))
+    else:
+        nodes, rounds = 64, 3
+        fabrics = (("banyan", "banyan:64"), ("fattree", "fattree:k=8"),
+                   ("torus", "torus:4x4x4"))
+    cfg = CollBenchConfig(op="allreduce", rounds=rounds)
+    out: Dict[str, Any] = {
+        "workload": f"allreduce rounds={rounds} p{nodes} cni",
+        "nodes": nodes,
+    }
+    for name, topology in fabrics:
+        spec = RunSpec(
+            "collbench",
+            SimParams().replace(num_processors=nodes, topology=topology),
+            "cni", cfg)
+        execute_run(spec)  # warm-up
+        t0 = time.perf_counter()
+        stats = execute_run(spec)
+        dt = time.perf_counter() - t0
+        crossings = float(stats.metrics["net.crossings"])
+        out[name] = {
+            "topology": topology,
+            "crossings": crossings,
+            "link_hops": float(stats.metrics["net.link_hops"]),
+            "hol_blocks": float(stats.metrics["net.hol_blocks"]),
+            "simulated_ns": stats.elapsed_ns,
+            "wall_s": dt,
+            "crossings_per_sec": crossings / dt if dt > 0 else 0.0,
+        }
+    return out
+
+
 def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     """Run every arm; return the BENCH document (sans date stamp)."""
     jobs = jobs or (os.cpu_count() or 1)
@@ -402,6 +457,13 @@ def run_bench(jobs: Optional[int], smoke: bool) -> Dict[str, Any]:
     print(f"[bench]   off: {hb['off_events_per_sec']:,.0f} events/s, "
           f"on: {hb['on_events_per_sec']:,.0f} events/s "
           f"(ratio {hb['on_vs_off_ratio']:.2f})")
+    print("[bench] per-topology fabric crossings/sec ...")
+    doc["topologies"] = _time_topologies(smoke)
+    for name in ("banyan", "fattree", "torus"):
+        t = doc["topologies"][name]
+        print(f"[bench]   {t['topology']}: "
+              f"{t['crossings_per_sec']:,.0f} crossings/s "
+              f"(hol_blocks={t['hol_blocks']:.0f})")
     print(f"[bench] parallel speedup at --jobs {jobs} vs 1 ...")
     doc["parallel"] = _time_parallel_speedup(jobs, smoke)
     p = doc["parallel"]

@@ -3,11 +3,12 @@
 
 Extracts every backticked dotted metric name between the
 ``<!-- metric-catalog:start -->`` / ``<!-- metric-catalog:end -->``
-markers in docs/observability.md, docs/runtime.md and docs/service.md
-(the ``runtime.*`` and ``service.*`` scopes are cataloged next to
-their subsystems), smoke-runs the simulator (a CNI cluster, a standard
-cluster, two messaging microbenchmarks, and a run-farm cache round
-trip — the union exercises every subsystem), and fails if
+markers in docs/observability.md, docs/runtime.md, docs/service.md and
+docs/network.md (the ``runtime.*``, ``service.*`` and ``net.*`` scopes
+are cataloged next to their subsystems), smoke-runs the simulator (a
+CNI cluster, a standard cluster, two messaging microbenchmarks, a
+run-farm cache round trip, and one run per fabric topology — the union
+exercises every subsystem), and fails if
 
 * any documented name was never registered (stale docs), or
 * any registered name outside the run-dependent ``cluster.*`` mirror is
@@ -31,8 +32,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOC_PATH = os.path.join(REPO_ROOT, "docs", "observability.md")
 RUNTIME_DOC_PATH = os.path.join(REPO_ROOT, "docs", "runtime.md")
 SERVICE_DOC_PATH = os.path.join(REPO_ROOT, "docs", "service.md")
+NETWORK_DOC_PATH = os.path.join(REPO_ROOT, "docs", "network.md")
 #: Every docs page carrying a marker-delimited metric catalog.
-CATALOG_DOCS = (DOC_PATH, RUNTIME_DOC_PATH, SERVICE_DOC_PATH)
+CATALOG_DOCS = (DOC_PATH, RUNTIME_DOC_PATH, SERVICE_DOC_PATH,
+                NETWORK_DOC_PATH)
 START = "<!-- metric-catalog:start -->"
 END = "<!-- metric-catalog:end -->"
 
@@ -126,6 +129,15 @@ def registered_names() -> Set[str]:
                 farm.submit(spec)
                 farm.step()
     names.update(service_metrics())
+    # One run per fabric so the net.* scope is exercised on every
+    # topology family (the scope only registers when a topology is
+    # selected — the default machine's digests are frozen without it).
+    for topology, nprocs in (("banyan:8", 2), ("fattree:k=4", 4),
+                             ("torus:2x2:adaptive", 4)):
+        stats, _ = run_jacobi(
+            SimParams().replace(num_processors=nprocs, topology=topology),
+            "cni", tiny)
+        names.update(stats.metrics)
     return {_NODE_RE.sub("node0.", n) for n in names}
 
 
@@ -147,8 +159,8 @@ def main() -> int:
             print(f"  {name}")
     if undocumented:
         print("registered but missing from the docs metric catalogs "
-              "(docs/observability.md, docs/runtime.md, "
-              "docs/service.md):")
+              "(docs/observability.md, docs/runtime.md, docs/service.md, "
+              "docs/network.md):")
         for name in sorted(undocumented):
             print(f"  {name}")
     if stale or undocumented:
